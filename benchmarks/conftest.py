@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark/reproduction harness.
+
+Every benchmark writes its rendered table or figure series to
+``benchmarks/results/`` so EXPERIMENTS.md can cite the regenerated artifacts,
+and registers one timed measurement with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir: Path, name: str, text: str) -> None:
+    """Write an artifact and echo it for -s runs."""
+    (results_dir / name).write_text(text + "\n")
+    print(f"\n{text}\n[written to benchmarks/results/{name}]")
+
+
+def run_once(benchmark, func):
+    """Register ``func`` with pytest-benchmark as a single-shot measurement.
+
+    Table/figure regenerations are minutes-long end-to-end runs; measuring
+    them once is the honest cost figure (kernel-level throughput has its own
+    multi-round benchmarks in test_kernels.py).
+    """
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)

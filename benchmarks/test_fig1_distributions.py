@@ -1,0 +1,56 @@
+"""Figure 1b/1c: per-layer weight distributions and the outlier fringe."""
+
+import numpy as np
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments.figures import fig1b_distributions, fig1c_weight_scatter
+from repro.utils.tables import format_table
+
+
+def test_fig1b_layer_distributions(benchmark, results_dir):
+    distributions = run_once(
+        benchmark,
+        lambda: fig1b_distributions("bert-base", layer_indices=(5, 10, 15, 20, 25)),
+    )
+    rows = [
+        [d.layer, f"{d.mean:+.5f}", f"{d.std:.5f}", f"{d.gaussian_overlap:.3f}"]
+        for d in distributions
+    ]
+    text = format_table(
+        ["Layer", "Mean", "Std", "Gaussian overlap"],
+        rows,
+        title="Figure 1b: per-layer weight distributions (BERT-Base scale)",
+    )
+    emit(results_dir, "fig1b_distributions.txt", text)
+
+    # Every layer closely follows a Gaussian (the paper's observation);
+    # parameters vary per layer.
+    for dist in distributions:
+        assert dist.gaussian_overlap > 0.93
+    stds = [d.std for d in distributions]
+    assert max(stds) / min(stds) > 1.1
+
+
+def test_fig1c_weight_scatter(benchmark, results_dir):
+    scatter = run_once(
+        benchmark, lambda: fig1c_weight_scatter("bert-base", layer_index=10)
+    )
+    fringe = np.abs(scatter.values[scatter.is_outlier])
+    bulk = np.abs(scatter.values[~scatter.is_outlier])
+    text = "\n".join(
+        [
+            f"Figure 1c: weight scatter, layer {scatter.layer}",
+            f"sampled points            : {scatter.values.size}",
+            f"outliers flagged          : {int(scatter.is_outlier.sum())}"
+            f" ({scatter.outlier_fraction * 100:.3f}%)",
+            f"outlier magnitude cutoff  : {scatter.magnitude_cutoff:.5f}",
+            f"largest bulk |w|          : {bulk.max():.5f}",
+            f"smallest outlier |w|      : {fringe.min():.5f}",
+        ]
+    )
+    emit(results_dir, "fig1c_scatter.txt", text)
+
+    # The fringe sits strictly outside the Gaussian bulk.
+    assert fringe.min() > bulk.max() * 0.95
+    # A tiny fraction of weights, as the paper observes (~0.1%).
+    assert scatter.outlier_fraction < 0.01

@@ -1,0 +1,47 @@
+"""Figure 2: GOBO vs K-Means convergence on a representative layer."""
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments.figures import fig2_convergence
+from repro.utils.tables import format_table
+
+
+def test_fig2_convergence(benchmark, results_dir):
+    comparison = run_once(
+        benchmark,
+        lambda: fig2_convergence(
+            layer_shape=(768, 768), bits=3, with_inference_error=True
+        ),
+    )
+
+    rows = []
+    kmeans_series = comparison.kmeans_trace.as_series()
+    gobo_series = comparison.gobo_trace.as_series()
+    for iteration in range(0, len(kmeans_series), max(1, len(kmeans_series) // 20)):
+        _, km_l1, km_l2 = kmeans_series[iteration]
+        if iteration < len(gobo_series):
+            _, gb_l1, gb_l2 = gobo_series[iteration]
+            rows.append([iteration, f"{gb_l1:.1f}", f"{gb_l2:.3f}", f"{km_l1:.1f}", f"{km_l2:.3f}"])
+        else:
+            rows.append([iteration, "-", "-", f"{km_l1:.1f}", f"{km_l2:.3f}"])
+    table = format_table(
+        ["Iter", "GOBO L1", "GOBO L2", "KMeans L1", "KMeans L2"],
+        rows,
+        title="Figure 2: L1/L2 norm vs iteration (768x768 G group, 3-bit)",
+    )
+    summary = "\n".join(
+        [
+            table,
+            f"GOBO converged at iteration   : {comparison.gobo_iterations}"
+            f" (inference error {comparison.gobo_inference_error * 100:+.2f}%)",
+            f"K-Means converged at iteration: {comparison.kmeans_iterations}"
+            f" (inference error {comparison.kmeans_inference_error * 100:+.2f}%)",
+            f"speedup                       : {comparison.speedup:.1f}x",
+        ]
+    )
+    emit(results_dir, "fig2_convergence.txt", summary)
+
+    # The paper: GOBO converges ~9x faster and lands at a better L1.
+    assert comparison.speedup > 4.0
+    assert comparison.gobo_final_l1 <= comparison.kmeans_final_l1 * 1.01
+    # GOBO reaches its minimum within a handful of iterations (paper: ~7).
+    assert comparison.gobo_iterations <= 15

@@ -1,0 +1,54 @@
+"""Figure 3: per-FC-layer outlier percentage across BERT-Base, plus the
+compression-ratio-vs-group-size curve from the same figure block."""
+
+import numpy as np
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments.figures import fig3_compression_curve, fig3_outlier_census
+from repro.utils.tables import format_table
+
+
+def test_fig3_outlier_census(benchmark, results_dir):
+    census = run_once(benchmark, lambda: fig3_outlier_census("bert-base"))
+
+    lines = [f"{index + 1:3d}  {name:45s} {fraction * 100:.3f}%"
+             for index, (name, fraction) in enumerate(census)]
+    text = "Figure 3: per-FC-layer outlier percentage (BERT-Base, 73 layers)\n"
+    text += "\n".join(lines)
+    emit(results_dir, "fig3_outlier_census.txt", text)
+
+    fractions = np.array([fraction for _, fraction in census])
+    assert fractions.size == 73
+    # Paper: every layer below ~0.4% except the last, which stays under 1%.
+    assert np.all(fractions[:-1] < 0.004)
+    assert fractions[-1] < 0.01
+    # The last (pooler) layer carries the largest fringe.
+    assert fractions[-1] > np.median(fractions[:-1])
+    # Weighted average ~0.1% across the model.
+    assert 0.0003 < fractions.mean() < 0.003
+
+
+def test_fig3_compression_curve(benchmark, results_dir):
+    curves = run_once(
+        benchmark,
+        lambda: fig3_compression_curve(
+            bits_list=(2, 3, 4, 5, 6),
+            weight_counts=(4, 16, 64, 256, 1024, 4096),
+        ),
+    )
+    header = ["Weights in SM"] + [f"{bits}-bit" for bits in sorted(curves)]
+    counts = [count for count, _ in curves[2]]
+    rows = []
+    for i, count in enumerate(counts):
+        rows.append([count] + [f"{curves[bits][i][1]:.2f}x" for bits in sorted(curves)])
+    text = format_table(header, rows, title="Figure 3 (left): compression ratio vs group size")
+    emit(results_dir, "fig3_compression_curve.txt", text)
+
+    # Fewer bits win only once the group is large enough to amortize the
+    # reconstruction table — the crossover the figure shows.
+    assert curves[2][0][1] < curves[6][-1][1]
+    for bits, curve in curves.items():
+        ratios = [ratio for _, ratio in curve]
+        assert ratios == sorted(ratios), f"{bits}-bit curve must rise"
+    # At 4096 weights per group the ratios approach 32/bits.
+    assert abs(curves[3][-1][1] - 32 / 3) / (32 / 3) < 0.15

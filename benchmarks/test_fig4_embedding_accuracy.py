@@ -1,0 +1,44 @@
+"""Figure 4: effect of embedding-table quantization on accuracy."""
+
+from collections import defaultdict
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments.figures import FIG4_SCENARIOS, fig4_embedding_accuracy
+from repro.utils.tables import format_table
+
+
+def test_fig4_embedding_accuracy(benchmark, results_dir):
+    points = run_once(benchmark, fig4_embedding_accuracy)
+
+    by_model = defaultdict(dict)
+    for point in points:
+        by_model[point.model][point.scenario] = point
+    scenarios = [scenario for scenario, _, _ in FIG4_SCENARIOS]
+    rows = [
+        [model] + [f"{by_model[model][s].normalized:.4f}" for s in scenarios]
+        for model in by_model
+    ]
+    text = format_table(
+        ["Model"] + scenarios,
+        rows,
+        title="Figure 4: normalized accuracy under embedding quantization",
+    )
+    emit(results_dir, "fig4_embedding_accuracy.txt", text)
+
+    for model, per_scenario in by_model.items():
+        # Embedding-only 4-bit quantization keeps accuracy within ~2% of
+        # baseline for every model (paper: within 0.5%, sometimes above).
+        assert per_scenario[scenarios[1]].normalized > 0.98, model
+        # 3-bit embeddings cost more but stay usable; tiny-distilbert (only
+        # 2 encoder layers of redundancy) is the most fragile.
+        assert per_scenario[scenarios[0]].normalized > 0.75, model
+        # 4-bit embeddings never do worse than 3-bit by a meaningful margin,
+        # in either scenario family.
+        assert (
+            per_scenario[scenarios[1]].normalized
+            >= per_scenario[scenarios[0]].normalized - 0.02
+        ), model
+        assert (
+            per_scenario[scenarios[3]].normalized
+            >= per_scenario[scenarios[2]].normalized - 0.02
+        ), model

@@ -1,0 +1,82 @@
+"""Throughput benchmarks for GOBO's computational kernels.
+
+These are proper multi-round pytest-benchmark measurements on realistic
+layer sizes (a 768x768 BERT-Base attention FC), quantifying the paper's
+"quantizing the model takes about 10 minutes on a single CPU core" claim at
+our scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.binning import assign_to_centroids, equal_population_centroids
+from repro.core.clustering import gobo_cluster, kmeans_cluster
+from repro.core.outliers import OutlierDetector
+from repro.core.quantizer import quantize_tensor
+from repro.models.zoo import SyntheticWeightSpec, synthetic_layer_weights
+from repro.utils.bitpack import pack_bits, unpack_bits
+
+
+@pytest.fixture(scope="module")
+def layer():
+    return synthetic_layer_weights((768, 768), SyntheticWeightSpec(), rng=0)
+
+
+@pytest.fixture(scope="module")
+def gaussian_group(layer):
+    split = OutlierDetector().split(layer)
+    return split.gaussian_values(layer).astype(np.float64)
+
+
+def test_bench_outlier_detection(benchmark, layer):
+    split = benchmark(lambda: OutlierDetector().split(layer))
+    assert 0 < split.outlier_count < layer.size // 100
+
+
+def test_bench_equal_population_init(benchmark, gaussian_group):
+    centroids = benchmark(lambda: equal_population_centroids(gaussian_group, 8))
+    assert centroids.size == 8
+
+
+def test_bench_assignment(benchmark, gaussian_group):
+    centroids = equal_population_centroids(gaussian_group, 8)
+    assignment = benchmark(lambda: assign_to_centroids(gaussian_group, centroids))
+    assert assignment.size == gaussian_group.size
+
+
+def test_bench_gobo_cluster(benchmark, gaussian_group):
+    result = benchmark(lambda: gobo_cluster(gaussian_group, 3))
+    assert result.converged
+
+
+def test_bench_kmeans_cluster_to_fixpoint(benchmark, gaussian_group):
+    result = benchmark.pedantic(
+        lambda: kmeans_cluster(gaussian_group, 3), rounds=3, iterations=1
+    )
+    assert result.converged
+
+
+def test_bench_full_layer_quantization(benchmark, layer):
+    quantized = benchmark.pedantic(
+        lambda: quantize_tensor(layer, bits=3)[0], rounds=3, iterations=1
+    )
+    assert quantized.compression_ratio() > 9.0
+
+
+def test_bench_dequantize(benchmark, layer):
+    quantized, _ = quantize_tensor(layer, bits=3)
+    restored = benchmark(quantized.dequantize)
+    assert restored.shape == layer.shape
+
+
+def test_bench_pack_bits(benchmark, rng_codes=None):
+    codes = np.random.default_rng(0).integers(0, 8, size=768 * 768)
+    packed = benchmark(lambda: pack_bits(codes, 3))
+    assert len(packed) == (codes.size * 3 + 7) // 8
+
+
+def test_bench_unpack_bits(benchmark):
+    codes = np.random.default_rng(0).integers(0, 8, size=768 * 768)
+    packed = pack_bits(codes, 3)
+    unpacked = benchmark(lambda: unpack_bits(packed, 3, codes.size))
+    assert unpacked.size == codes.size

@@ -1,0 +1,54 @@
+"""Extension: roofline latency of FP32 vs GOBO-compressed inference.
+
+Not a table in the arXiv text, but the 'low latency' claim of the title: on
+a memory-bound device, streaming 3-bit weights instead of FP32 cuts batch-1
+latency by up to the compression ratio; once compression makes layers
+compute-bound, the roofline caps the gain.
+"""
+
+from benchmarks.conftest import emit, run_once
+from repro.hw import EDGE_NPU, SERVER_ACCELERATOR, gobo_speedup, inference_latency
+from repro.models import get_config
+from repro.utils.tables import format_table
+
+GOBO_BITS = 3.07
+
+
+def test_latency_table(benchmark, results_dir):
+    def build():
+        rows = []
+        for model_name in ("bert-base", "bert-large"):
+            config = get_config(model_name)
+            for hardware in (EDGE_NPU, SERVER_ACCELERATOR):
+                for seq in (16, 128):
+                    fp32 = inference_latency(config, hardware, seq, 32.0)
+                    gobo = inference_latency(config, hardware, seq, GOBO_BITS)
+                    rows.append(
+                        [
+                            model_name,
+                            hardware.name,
+                            seq,
+                            f"{fp32.latency_seconds * 1e3:.2f} ms",
+                            f"{gobo.latency_seconds * 1e3:.2f} ms",
+                            f"{fp32.latency_seconds / gobo.latency_seconds:.2f}x",
+                            f"{fp32.memory_bound_fraction * 100:.0f}%",
+                        ]
+                    )
+        return rows
+
+    rows = run_once(benchmark, build)
+    text = format_table(
+        ["Model", "Hardware", "Seq", "FP32 latency", "GOBO latency", "Speedup",
+         "FP32 mem-bound"],
+        rows,
+        title="Extension: roofline inference latency, FP32 vs GOBO (3.07 eff. bits)",
+    )
+    emit(results_dir, "latency_model.txt", text)
+
+    # Short-sequence edge inference gets (nearly) the full compression ratio.
+    edge_short = gobo_speedup(get_config("bert-base"), EDGE_NPU, 16, GOBO_BITS)
+    assert edge_short > 10.0
+    # Every configuration gains, and none exceeds the traffic cut.
+    for row in rows:
+        speedup = float(row[5].rstrip("x"))
+        assert 1.0 <= speedup <= 32.0 / GOBO_BITS + 1e-6

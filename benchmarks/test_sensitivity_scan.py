@@ -1,0 +1,48 @@
+"""Extension: the per-layer sensitivity scan behind Table VI's mixed policy.
+
+Section V: "We found that two FC layers ('Value layer' in self-attention and
+Intermediate layer) in the first 6 BERT Encoders are the ones that are
+sensitive."  This benchmark runs the analysis that produces such a finding —
+quantize one layer at a time at 2 bits and rank the accuracy cost — on the
+fine-tuned RoBERTa stand-in.
+"""
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments.accuracy import RECIPES, _build, get_finetuned
+from repro.experiments.sensitivity import layer_sensitivity_scan, sensitive_components
+from repro.utils.tables import format_table
+
+
+def test_layer_sensitivity_scan(benchmark, results_dir):
+    def scan():
+        finetuned = get_finetuned("roberta-base", "mnli")
+        probe = _build(finetuned.config_name, RECIPES["mnli"])
+        # One early and one late encoder layer per component class.
+        config_layers = tuple(
+            f"bert.encoder.{index}.{component}.weight"
+            for index in (0, 3)
+            for component in (
+                "attention.query", "attention.value", "intermediate", "output"
+            )
+        )
+        results = layer_sensitivity_scan(
+            finetuned.model, probe, finetuned.splits.eval, bits=2,
+            layers=config_layers,
+        )
+        return results
+
+    results = run_once(benchmark, scan)
+    rows = [[r.layer, f"{r.score * 100:.2f}%", f"{r.drop * 100:+.2f}%"] for r in results]
+    components = sensitive_components(results, top_fraction=0.25)
+    text = format_table(
+        ["Layer (2-bit in isolation)", "Score", "Drop"],
+        rows,
+        title="Extension: per-layer sensitivity scan, tiny-roberta on MNLI",
+    ) + f"\nmost-sensitive components: {components}"
+    emit(results_dir, "sensitivity_scan.txt", text)
+
+    # The scan produces a usable ranking: sorted by drop, and quantizing a
+    # single layer at 2 bits never costs more than quantizing all of them.
+    drops = [r.drop for r in results]
+    assert drops == sorted(drops, reverse=True)
+    assert all(-0.2 <= d <= 1.0 for d in drops)

@@ -1,0 +1,23 @@
+"""Table I: BERT architecture inventory."""
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments.tables import table1_architecture
+
+
+def test_table1_architecture(benchmark, results_dir):
+    result = run_once(benchmark, table1_architecture)
+    text = result.render()
+    emit(results_dir, "table1_architecture.txt", text)
+
+    assert "768 x 768" in text          # BERT-Base attention FCs
+    assert "768 x 3072" in text         # BERT-Base intermediate
+    assert "1024 x 4096" in text        # BERT-Large intermediate
+    assert "73" in text and "145" in text  # total FC layer counts
+    # Total parameters: paper rounds to 110M / 340M; the exact census lands
+    # within a few percent of those.
+    totals = [
+        int(row[-1].rstrip("M"))
+        for row in result.rows
+        if row[2] == "Total parameters"
+    ]
+    assert abs(totals[0] - 110) <= 3 and abs(totals[1] - 340) <= 8

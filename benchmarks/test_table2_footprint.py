@@ -1,0 +1,18 @@
+"""Table II: memory footprint of BERT-Base and BERT-Large."""
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments.tables import table2_footprint
+
+
+def test_table2_footprint(benchmark, results_dir):
+    result = run_once(benchmark, table2_footprint)
+    text = result.render()
+    emit(results_dir, "table2_footprint.txt", text)
+
+    # The paper's Table II numbers.
+    assert "89.42 MB" in text           # BERT-Base embedding tables
+    assert "326.25 MB" in text          # BERT-Base weights
+    assert "119.2" in text              # BERT-Large embeddings (119.22 MB)
+    assert "3 KB" in text and "4 KB" in text      # input per word
+    assert "12 KB" in text and "16 KB" in text    # largest acts per word
+    assert "1.5 MB" in text and "2.0 MB" in text  # activations at seq 128

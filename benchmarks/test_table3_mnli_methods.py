@@ -1,0 +1,38 @@
+"""Table III: quantization-method comparison on MNLI / BERT-Base.
+
+Accuracy comes from the fine-tuned tiny stand-in (see DESIGN.md); compression
+ratios are computed at the real BERT-Base dimensions and should match the
+paper's column (4x, ~7.8x, ~6.5x, ~9.8x, ~7.9x).
+"""
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments.tables import table3_method_comparison
+
+
+def test_table3_method_comparison(benchmark, results_dir):
+    result = run_once(benchmark, table3_method_comparison)
+    text = result.render()
+    emit(results_dir, "table3_mnli_methods.txt", text)
+
+    rows = {row[0] + ":" + str(row[1]): row for row in result.rows}
+    ratio = {key: float(row[-1].rstrip("x")) for key, row in rows.items()}
+
+    # Compression-ratio column matches the paper at real scale.
+    assert abs(ratio["Q8BERT:8-bit"] - 4.0) < 0.1
+    assert abs(ratio["Q-BERT:3-bit"] - 7.81) < 0.4
+    assert abs(ratio["Q-BERT:4-bit"] - 6.52) < 0.4
+    assert abs(ratio["GOBO:3-bit"] - 9.83) < 0.5
+    assert abs(ratio["GOBO:4-bit"] - 7.92) < 0.5
+    # GOBO compresses hardest, Q8BERT least — the paper's ordering.
+    assert ratio["GOBO:3-bit"] > ratio["Q-BERT:3-bit"] > ratio["Q8BERT:8-bit"]
+
+    # Accuracy: every method stays close to the FP32 baseline (the paper's
+    # losses are all under ~1.1 accuracy points).
+    def accuracy(key: str) -> float:
+        return float(rows[key][3].rstrip("%"))
+
+    baseline = accuracy("Baseline:FP32")
+    for key in ("Q8BERT:8-bit", "Q-BERT:3-bit", "Q-BERT:4-bit", "GOBO:3-bit", "GOBO:4-bit"):
+        assert baseline - accuracy(key) < 5.0, key
+    # GOBO at 4 bits is lossless-or-better.
+    assert baseline - accuracy("GOBO:4-bit") <= 0.5

@@ -1,0 +1,46 @@
+"""Table VI: RoBERTa and RoBERTa-Large on MNLI, incl. the mixed 3b/4b rows."""
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments.tables import centroid_policy_table
+
+
+def _score(result, bits, policy) -> float:
+    for row in result.rows:
+        if row[0] == bits and row[1] == policy:
+            return float(row[2].rstrip("%"))
+    raise KeyError((bits, policy))
+
+
+def _check(result):
+    baseline = float(result.rows[0][2].rstrip("%"))
+    # 4-bit GOBO near-lossless; 5-bit lossless (paper: 0.32% / 0.00%).
+    assert baseline - _score(result, 4, "gobo") <= 1.5
+    assert baseline - _score(result, 5, "gobo") <= 0.5
+    # The mixed 3b/4b policy sits between uniform 3-bit and uniform 4-bit.
+    mixed = _score(result, "3b/4b", "gobo-mixed")
+    assert mixed >= _score(result, 3, "gobo") - 0.5
+    assert mixed <= _score(result, 4, "gobo") + 1.0
+
+
+def test_table6_roberta_base(benchmark, results_dir):
+    result = run_once(
+        benchmark,
+        lambda: centroid_policy_table(
+            "roberta-base", "mnli", (3, 4, 5), policies=("kmeans", "gobo"),
+            mixed_rows=True,
+        ),
+    )
+    emit(results_dir, "table6_roberta_base.txt", result.render())
+    _check(result)
+
+
+def test_table6_roberta_large(benchmark, results_dir):
+    result = run_once(
+        benchmark,
+        lambda: centroid_policy_table(
+            "roberta-large", "mnli", (3, 4, 5), policies=("kmeans", "gobo"),
+            mixed_rows=True,
+        ),
+    )
+    emit(results_dir, "table6_roberta_large.txt", result.render())
+    _check(result)

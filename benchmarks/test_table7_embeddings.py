@@ -1,0 +1,24 @@
+"""Table VII: embedding-table size and compression ratio per model."""
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments.tables import table7_embeddings
+
+
+def test_table7_embeddings(benchmark, results_dir):
+    result = run_once(benchmark, table7_embeddings)
+    text = result.render()
+    emit(results_dir, "table7_embeddings.txt", text)
+
+    # Baseline FP32 sizes (paper column 1).
+    assert "89.42 MB" in text       # BERT-Base / DistilBERT
+    assert "119.23 MB" in text      # BERT-Large
+    assert "147.26 MB" in text      # RoBERTa
+    assert "196.35 MB" in text      # RoBERTa-Large
+
+    # Compression ratios: ~10.4x at 3 bits, ~7.9x at 4 bits (paper:
+    # 10.10-10.66x and 7.69-8.00x).
+    for row in result.rows:
+        cr3 = float(row[3].rstrip("x"))
+        cr4 = float(row[5].rstrip("x"))
+        assert 10.0 < cr3 < 10.7, row[0]
+        assert 7.6 < cr4 < 8.0, row[0]

@@ -1,0 +1,54 @@
+"""Stack knowledge distillation and GOBO (the paper's Table V pipeline).
+
+Run with:  python examples/distill_then_quantize.py
+
+Section V: "DistilBERT is about 2x smaller than BERT-base. When GOBO is
+applied on top of KD, the final model is about 20x smaller than BERT-Base."
+This example runs that composition end to end at tiny scale: fine-tune a
+teacher, distill it into a half-depth student, GOBO-quantize the student,
+and account for the stacked compression.
+"""
+
+from repro.core import quantize_model
+from repro.data import generate_mnli
+from repro.models import build_model, get_config
+from repro.training import DistillationTrainer, Trainer, evaluate
+
+
+def main() -> None:
+    splits = generate_mnli(num_train=2000, num_eval=400, rng=0)
+
+    teacher_config = get_config("tiny-bert-base")
+    print("fine-tuning the teacher (tiny-bert-base) ...")
+    teacher = build_model(teacher_config, task="classification", num_labels=3, rng=1)
+    Trainer(teacher, lr=1e-3, batch_size=32, rng=2).fit(splits.train, epochs=5)
+    teacher_score = evaluate(teacher, splits.eval)
+
+    student_config = get_config("tiny-distilbert")  # half the encoder layers
+    print("distilling into the student (tiny-distilbert) ...")
+    student = build_model(student_config, task="classification", num_labels=3, rng=3)
+    DistillationTrainer(student, teacher, lr=1e-3, batch_size=32, rng=4).fit(
+        splits.train, epochs=6
+    )
+    student_score = evaluate(student, splits.eval)
+
+    teacher_bytes = 4 * teacher.num_parameters()
+    student_bytes = 4 * student.num_parameters()
+    print(f"\nteacher accuracy : {teacher_score * 100:.2f}%")
+    print(f"student accuracy : {student_score * 100:.2f}%  "
+          f"(KD alone: {teacher_bytes / student_bytes:.1f}x smaller)")
+    probe = build_model(student_config, task="classification", num_labels=3, rng=3)
+    for bits in (4, 3):
+        quantized = quantize_model(student, weight_bits=bits, embedding_bits=bits)
+        quantized.apply_to(probe)
+        score = evaluate(probe, splits.eval)
+        stacked = teacher_bytes / (student_bytes / quantized.model_compression_ratio())
+        print(f"student + GOBO {bits}-bit: {score * 100:.2f}%  "
+              f"(quantized part {quantized.model_compression_ratio():.1f}x, "
+              f"stacked KD x GOBO ~{stacked:.1f}x)")
+    print("\n(at real scale — DistilBERT 2x, GOBO ~10x — the paper's ~20x; the "
+          "\n2-layer tiny student tolerates 4-bit but is fragile at 3-bit)")
+
+
+if __name__ == "__main__":
+    main()

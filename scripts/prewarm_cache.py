@@ -1,0 +1,22 @@
+"""Fine-tune and cache every (model, task) pair the benchmarks need."""
+import time
+from repro.experiments.accuracy import get_finetuned
+
+PAIRS = [
+    ("bert-base", "mnli"),
+    ("bert-base", "stsb"),
+    ("bert-large", "squad"),
+    ("distilbert", "mnli"),
+    ("roberta-base", "mnli"),
+    ("roberta-large", "mnli"),
+]
+
+if __name__ == "__main__":
+    for model, task in PAIRS:
+        t0 = time.time()
+        finetuned = get_finetuned(model, task)
+        print(
+            f"{model:15s} {task:6s} baseline={finetuned.baseline_score:.4f} "
+            f"({time.time() - t0:.0f}s)",
+            flush=True,
+        )

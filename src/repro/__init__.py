@@ -1,0 +1,60 @@
+"""GOBO reproduction: outlier-aware post-training quantization for BERT.
+
+Reproduces "GOBO: Quantizing Attention-Based NLP Models for Low Latency and
+Energy Efficient Inference" (Zadeh & Moshovos, MICRO 2020).
+
+Quickstart::
+
+    import numpy as np
+    from repro import quantize_tensor
+
+    weights = np.random.default_rng(0).normal(0, 0.04, size=(768, 768))
+    quantized, clustering = quantize_tensor(weights, bits=3)
+    print(quantized.compression_ratio(), quantized.outlier_fraction)
+    restored = quantized.dequantize()        # plug-in compatible FP32 decode
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: Gaussian outlier detection, equal-population
+    binning, L1 centroid iteration, packed storage, model-level policies.
+``repro.quant``
+    Baselines: linear quantization, K-Means, Q8BERT-like, Q-BERT-like.
+``repro.nn`` / ``repro.models``
+    A from-scratch NumPy transformer substrate and the BERT model family.
+``repro.data`` / ``repro.training``
+    Synthetic GLUE/SQuAD-like tasks and the fine-tuning loop.
+``repro.experiments``
+    One runner per table/figure of the paper's evaluation.
+``repro.memory``
+    The off-chip traffic / energy model motivating the paper.
+"""
+
+from repro.core import (
+    GoboQuantizedTensor,
+    LayerPolicy,
+    OutlierDetector,
+    QuantizedModel,
+    gobo_cluster,
+    kmeans_cluster,
+    mixed_precision_policy,
+    quantize_model,
+    quantize_state_dict,
+    quantize_tensor,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GoboQuantizedTensor",
+    "LayerPolicy",
+    "OutlierDetector",
+    "QuantizedModel",
+    "__version__",
+    "gobo_cluster",
+    "kmeans_cluster",
+    "mixed_precision_policy",
+    "quantize_model",
+    "quantize_state_dict",
+    "quantize_tensor",
+]

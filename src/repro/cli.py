@@ -1,0 +1,90 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands::
+
+    python -m repro list                      # all reproduction targets
+    python -m repro run table3                # regenerate one table/figure
+    python -m repro run all                   # everything (trains on first use)
+    python -m repro prewarm                   # fine-tune + cache all models
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
+from repro.experiments.report import render_payload
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    for identifier in list_experiments():
+        experiment = EXPERIMENTS[identifier]
+        marker = "*" if experiment.needs_training else " "
+        print(f"{identifier:12s} {marker} {experiment.description}")
+    print("\n(* = fine-tunes tiny models on first run; checkpoints are cached)")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    identifiers = list_experiments() if args.target == "all" else [args.target]
+    for identifier in identifiers:
+        try:
+            experiment = get_experiment(identifier)
+        except KeyError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        started = time.time()
+        payload = experiment.runner()
+        print(f"=== {identifier}: {experiment.description} "
+              f"({time.time() - started:.1f}s) ===")
+        print(render_payload(payload))
+        print()
+    return 0
+
+
+def _cmd_prewarm(_args: argparse.Namespace) -> int:
+    from repro.experiments.accuracy import get_finetuned
+
+    pairs = [
+        ("bert-base", "mnli"),
+        ("bert-base", "stsb"),
+        ("bert-large", "squad"),
+        ("distilbert", "mnli"),
+        ("roberta-base", "mnli"),
+        ("roberta-large", "mnli"),
+    ]
+    for model, task in pairs:
+        started = time.time()
+        finetuned = get_finetuned(model, task)
+        print(
+            f"{model:15s} {task:6s} baseline={finetuned.baseline_score:.4f} "
+            f"({time.time() - started:.0f}s)"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GOBO reproduction: regenerate the paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list reproduction targets").set_defaults(func=_cmd_list)
+    run = sub.add_parser("run", help="run one target (or 'all')")
+    run.add_argument("target", help="experiment id from 'list', or 'all'")
+    run.set_defaults(func=_cmd_run)
+    sub.add_parser(
+        "prewarm", help="fine-tune and cache every evaluation model"
+    ).set_defaults(func=_cmd_prewarm)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

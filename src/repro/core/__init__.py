@@ -1,0 +1,71 @@
+"""GOBO: the paper's contribution — outlier-aware dictionary quantization."""
+
+from repro.core.binning import (
+    assign_to_centroids,
+    equal_population_centroids,
+    linear_centroids,
+)
+from repro.core.clustering import (
+    ClusteringResult,
+    ConvergenceTrace,
+    gobo_cluster,
+    kmeans_cluster,
+)
+from repro.core.entropy import CodeEntropyReport, code_entropy
+from repro.core.formats import (
+    StorageReport,
+    compression_curve,
+    potential_compression_ratio,
+    storage_report,
+)
+from repro.core.model_quantizer import (
+    ParameterSelection,
+    QuantizedModel,
+    quantize_model,
+    quantize_state_dict,
+    select_parameters,
+)
+from repro.core.outliers import (
+    DEFAULT_LOG_PROB_THRESHOLD,
+    OutlierDetector,
+    OutlierSplit,
+)
+from repro.core.policy import LayerPolicy, PolicyRule, mixed_precision_policy
+from repro.core.quantizer import (
+    GoboQuantizedTensor,
+    quantization_error,
+    quantize_tensor,
+)
+from repro.core.serialization import load_quantized_model, save_quantized_model
+
+__all__ = [
+    "DEFAULT_LOG_PROB_THRESHOLD",
+    "ClusteringResult",
+    "CodeEntropyReport",
+    "ConvergenceTrace",
+    "code_entropy",
+    "GoboQuantizedTensor",
+    "LayerPolicy",
+    "OutlierDetector",
+    "OutlierSplit",
+    "ParameterSelection",
+    "PolicyRule",
+    "QuantizedModel",
+    "StorageReport",
+    "assign_to_centroids",
+    "compression_curve",
+    "equal_population_centroids",
+    "gobo_cluster",
+    "kmeans_cluster",
+    "linear_centroids",
+    "load_quantized_model",
+    "mixed_precision_policy",
+    "potential_compression_ratio",
+    "quantization_error",
+    "quantize_model",
+    "quantize_state_dict",
+    "quantize_tensor",
+    "save_quantized_model",
+    "select_parameters",
+    "storage_report",
+]

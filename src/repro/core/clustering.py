@@ -1,0 +1,192 @@
+"""Centroid refinement: GOBO's L1-monitored iteration vs classic K-Means.
+
+Both algorithms share the assignment step (nearest centroid — identical in
+1-D under L1 and L2) and the update step (cluster mean).  They differ in when
+they stop:
+
+* **GOBO** monitors the total L1-norm (sum of |weight - centroid|) after each
+  update and stops as soon as it stops improving — the paper observes the
+  minimum is reached in about 7 iterations for 3-bit quantization.
+* **K-Means** iterates until the cluster *assignments* reach a fixed point,
+  which takes roughly 9x as many iterations (Figure 2) and — because the mean
+  update optimizes L2, not L1 — lands on centroids with *worse* L1, which is
+  what correlates with inference accuracy.
+
+Both record a :class:`ConvergenceTrace` so Figure 2 can be regenerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.binning import assign_to_centroids, equal_population_centroids
+from repro.errors import QuantizationError
+
+
+@dataclass
+class ConvergenceTrace:
+    """Per-iteration L1/L2 norms of a centroid refinement run."""
+
+    l1_norms: list[float] = field(default_factory=list)
+    l2_norms: list[float] = field(default_factory=list)
+
+    def record(self, values: np.ndarray, centroids: np.ndarray, assignment: np.ndarray) -> None:
+        residual = values - centroids[assignment]
+        self.l1_norms.append(float(np.abs(residual).sum()))
+        self.l2_norms.append(float(np.square(residual).sum()))
+
+    @property
+    def iterations(self) -> int:
+        return len(self.l1_norms)
+
+    def as_series(self) -> list[tuple[int, float, float]]:
+        """(iteration, L1, L2) rows — the Figure 2 series."""
+        return [
+            (i, l1, l2)
+            for i, (l1, l2) in enumerate(zip(self.l1_norms, self.l2_norms))
+        ]
+
+
+@dataclass(frozen=True)
+class ClusteringResult:
+    """Final centroids, assignments and the convergence trace of a run.
+
+    ``final_l1``/``final_l2`` belong to the *returned* state — for GOBO that
+    is the best (minimum-L1) iteration, which is not necessarily the last
+    trace entry (the trace keeps the worsening step that triggered the stop).
+    """
+
+    centroids: np.ndarray
+    assignment: np.ndarray
+    trace: ConvergenceTrace
+    converged: bool
+    final_l1: float
+    final_l2: float
+
+    @property
+    def iterations(self) -> int:
+        return self.trace.iterations
+
+    def l1_norm(self) -> float:
+        return self.final_l1
+
+    def l2_norm(self) -> float:
+        return self.final_l2
+
+
+def _update_centroids(
+    values: np.ndarray, assignment: np.ndarray, num_bins: int, previous: np.ndarray
+) -> np.ndarray:
+    """Cluster means; empty clusters keep their previous centroid."""
+    sums = np.bincount(assignment, weights=values, minlength=num_bins)
+    counts = np.bincount(assignment, minlength=num_bins)
+    centroids = previous.copy()
+    populated = counts > 0
+    centroids[populated] = sums[populated] / counts[populated]
+    return np.sort(centroids)
+
+
+def _prepare(values: np.ndarray, bits: int) -> tuple[np.ndarray, int]:
+    flat = np.asarray(values, dtype=np.float64).ravel()
+    if flat.size == 0:
+        raise QuantizationError("cannot cluster an empty value set")
+    if not 1 <= bits <= 8:
+        raise QuantizationError(f"bits must be in [1, 8], got {bits}")
+    return flat, 1 << bits
+
+
+def gobo_cluster(
+    values: np.ndarray,
+    bits: int,
+    max_iterations: int = 50,
+    initial_centroids: np.ndarray | None = None,
+) -> ClusteringResult:
+    """GOBO centroid selection: iterate L1 reassignment, stop at the L1 minimum.
+
+    Steps 3-7 of Section IV: equal-population init, then alternate
+    (reassign to nearest centroid, recompute means) while the total L1-norm
+    keeps decreasing.  The state from the best (minimum-L1) iteration is
+    returned, so a final worsening step is never kept.
+    """
+    flat, num_bins = _prepare(values, bits)
+    centroids = (
+        np.sort(np.asarray(initial_centroids, dtype=np.float64))
+        if initial_centroids is not None
+        else equal_population_centroids(flat, num_bins)
+    )
+    if centroids.size != num_bins:
+        raise QuantizationError(
+            f"expected {num_bins} initial centroids, got {centroids.size}"
+        )
+    trace = ConvergenceTrace()
+    assignment = assign_to_centroids(flat, centroids)
+    trace.record(flat, centroids, assignment)
+    best_index = 0
+    best = (centroids, assignment)
+    converged = False
+    for _ in range(max_iterations):
+        centroids = _update_centroids(flat, assignment, num_bins, centroids)
+        assignment = assign_to_centroids(flat, centroids)
+        trace.record(flat, centroids, assignment)
+        if trace.l1_norms[-1] < trace.l1_norms[best_index]:
+            best_index = len(trace.l1_norms) - 1
+            best = (centroids, assignment)
+        else:
+            # L1 stopped improving: the minimum has been reached.
+            converged = True
+            break
+    centroids, assignment = best
+    return ClusteringResult(
+        centroids=centroids,
+        assignment=assignment,
+        trace=trace,
+        converged=converged,
+        final_l1=trace.l1_norms[best_index],
+        final_l2=trace.l2_norms[best_index],
+    )
+
+
+def kmeans_cluster(
+    values: np.ndarray,
+    bits: int,
+    max_iterations: int = 300,
+    initial_centroids: np.ndarray | None = None,
+) -> ClusteringResult:
+    """K-Means baseline: same init and updates, run to assignment fixpoint.
+
+    Matches the paper's comparison setup ("same centroid initialization as
+    GOBO ... iterations until the cluster assignments converge").
+    """
+    flat, num_bins = _prepare(values, bits)
+    centroids = (
+        np.sort(np.asarray(initial_centroids, dtype=np.float64))
+        if initial_centroids is not None
+        else equal_population_centroids(flat, num_bins)
+    )
+    if centroids.size != num_bins:
+        raise QuantizationError(
+            f"expected {num_bins} initial centroids, got {centroids.size}"
+        )
+    trace = ConvergenceTrace()
+    assignment = assign_to_centroids(flat, centroids)
+    trace.record(flat, centroids, assignment)
+    converged = False
+    for _ in range(max_iterations):
+        centroids = _update_centroids(flat, assignment, num_bins, centroids)
+        new_assignment = assign_to_centroids(flat, centroids)
+        trace.record(flat, centroids, new_assignment)
+        if np.array_equal(new_assignment, assignment):
+            converged = True
+            assignment = new_assignment
+            break
+        assignment = new_assignment
+    return ClusteringResult(
+        centroids=centroids,
+        assignment=assignment,
+        trace=trace,
+        converged=converged,
+        final_l1=trace.l1_norms[-1],
+        final_l2=trace.l2_norms[-1],
+    )

@@ -1,0 +1,62 @@
+"""Entropy analysis of GOBO's index stream.
+
+Deep Compression (the paper's dictionary-compression precursor) follows its
+K-Means codes with Huffman coding, because Lloyd clustering on a Gaussian
+produces *unevenly used* codes that an entropy coder can shrink further.
+GOBO's equal-population initialization starts from (near-)uniform code usage
+instead — its index stream is already close to maximum entropy, so fixed
+``bits``-wide packed codes leave almost nothing for a Huffman stage to
+reclaim.  This module quantifies that design property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CodeEntropyReport:
+    """Usage statistics of a centroid-index stream."""
+
+    bits: int
+    counts: np.ndarray
+    entropy_bits: float
+
+    @property
+    def usage(self) -> np.ndarray:
+        """Code usage as fractions summing to 1."""
+        total = self.counts.sum()
+        if total == 0:
+            return np.zeros_like(self.counts, dtype=np.float64)
+        return self.counts / total
+
+    @property
+    def huffman_headroom_bits(self) -> float:
+        """Bits per weight an ideal entropy coder could still save."""
+        return max(0.0, self.bits - self.entropy_bits)
+
+    @property
+    def uniformity(self) -> float:
+        """Entropy as a fraction of the maximum (1.0 = perfectly uniform)."""
+        if self.bits == 0:
+            return 1.0
+        return self.entropy_bits / self.bits
+
+
+def code_entropy(assignment: np.ndarray, bits: int) -> CodeEntropyReport:
+    """Shannon entropy (bits/symbol) of a centroid-index stream."""
+    if not 1 <= bits <= 16:
+        raise ValueError(f"bits must be in [1, 16], got {bits}")
+    assignment = np.asarray(assignment).ravel()
+    num_codes = 1 << bits
+    if assignment.size and (assignment.min() < 0 or assignment.max() >= num_codes):
+        raise ValueError(f"assignments out of range [0, {num_codes})")
+    counts = np.bincount(assignment.astype(np.int64), minlength=num_codes)
+    total = counts.sum()
+    if total == 0:
+        return CodeEntropyReport(bits=bits, counts=counts, entropy_bits=0.0)
+    probabilities = counts[counts > 0] / total
+    entropy = float(-(probabilities * np.log2(probabilities)).sum())
+    return CodeEntropyReport(bits=bits, counts=counts, entropy_bits=entropy)

@@ -1,0 +1,114 @@
+"""Storage-format accounting: how many bytes a GOBO-compressed layer costs.
+
+The paper quotes two kinds of ratio:
+
+* the **potential compression ratio** ``32 / bits`` (Table IV's right column:
+  10.67x for 3 bits, 8x for 4 bits), which ignores outliers and the
+  centroid table, and
+* **measured model ratios** (e.g. 9.83x in Table III) that include every
+  overhead: FP32 outlier values, outlier positions, and the per-layer
+  reconstruction table.
+
+:func:`storage_report` computes the byte-accurate version; the
+``compression_curve`` helper regenerates the compression-ratio-vs-dictionary-
+size figure (ratio approaches ``32/bits`` as more weights share one table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.bitpack import packed_nbytes
+
+BYTES_PER_FP32 = 4
+BYTES_PER_POSITION = 4  # flat index of an outlier, stored as uint32
+
+
+@dataclass(frozen=True)
+class StorageReport:
+    """Byte breakdown of one GOBO-compressed tensor."""
+
+    total_weights: int
+    outliers: int
+    bits: int
+    code_bytes: int
+    outlier_value_bytes: int
+    outlier_position_bytes: int
+    table_bytes: int
+
+    @property
+    def gaussian_weights(self) -> int:
+        return self.total_weights - self.outliers
+
+    @property
+    def compressed_bytes(self) -> int:
+        return (
+            self.code_bytes
+            + self.outlier_value_bytes
+            + self.outlier_position_bytes
+            + self.table_bytes
+        )
+
+    @property
+    def original_bytes(self) -> int:
+        return self.total_weights * BYTES_PER_FP32
+
+    @property
+    def compression_ratio(self) -> float:
+        if self.compressed_bytes == 0:
+            return float("inf")
+        return self.original_bytes / self.compressed_bytes
+
+    @property
+    def effective_bits_per_weight(self) -> float:
+        if self.total_weights == 0:
+            return 0.0
+        return 8.0 * self.compressed_bytes / self.total_weights
+
+
+def potential_compression_ratio(bits: int) -> float:
+    """The paper's 'Potential Comp. Ratio' column: FP32 over ``bits``."""
+    if bits <= 0:
+        raise ValueError(f"bits must be positive, got {bits}")
+    return 32.0 / bits
+
+
+def storage_report(total_weights: int, outliers: int, bits: int) -> StorageReport:
+    """Byte-accurate storage cost of a tensor under GOBO's format."""
+    if total_weights < 0 or outliers < 0 or outliers > total_weights:
+        raise ValueError(
+            f"invalid counts: total={total_weights}, outliers={outliers}"
+        )
+    if not 1 <= bits <= 8:
+        raise ValueError(f"bits must be in [1, 8], got {bits}")
+    gaussian = total_weights - outliers
+    return StorageReport(
+        total_weights=total_weights,
+        outliers=outliers,
+        bits=bits,
+        code_bytes=packed_nbytes(gaussian, bits),
+        outlier_value_bytes=outliers * BYTES_PER_FP32,
+        outlier_position_bytes=outliers * BYTES_PER_POSITION,
+        table_bytes=(1 << bits) * BYTES_PER_FP32,
+    )
+
+
+def compression_curve(
+    bits: int,
+    weight_counts: list[int],
+    outlier_fraction: float = 0.0,
+) -> list[tuple[int, float]]:
+    """Compression ratio vs number of weights sharing one dictionary.
+
+    Reproduces the paper's compression-ratio figure: for tiny groups the
+    ``2^bits`` FP32 reconstruction table dominates and the ratio is poor; as
+    the group grows the ratio asymptotes to ``32 / bits``.  This is exactly
+    the argument for GOBO's single-table-per-layer design over Q-BERT's 128
+    groups per layer.
+    """
+    points = []
+    for count in weight_counts:
+        outliers = int(round(count * outlier_fraction))
+        report = storage_report(count, min(outliers, count), bits)
+        points.append((count, report.compression_ratio))
+    return points

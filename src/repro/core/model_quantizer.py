@@ -1,0 +1,199 @@
+"""Whole-model quantization: apply GOBO per layer across a network.
+
+GOBO "operates at the granularity of a layer and over the trained model": for
+each FC weight matrix (and optionally each embedding table) it runs the
+outlier split + centroid selection of :mod:`repro.core.quantizer` with one
+reconstruction table per layer.  Everything else (biases, LayerNorm, task
+heads) stays FP32, matching the paper's setup.
+
+The result is a :class:`QuantizedModel` that can
+
+* report byte-accurate compression ratios (Table III/VII numbers), and
+* reconstruct a plain FP32 ``state_dict`` — the "plug-in compatible" decode
+  the paper highlights — to load back into any model of the same
+  architecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.formats import BYTES_PER_FP32, StorageReport
+from repro.core.outliers import DEFAULT_LOG_PROB_THRESHOLD
+from repro.core.policy import LayerPolicy
+from repro.core.quantizer import GoboQuantizedTensor, quantize_tensor
+from repro.errors import QuantizationError
+from repro.models.bert import BertModel
+from repro.nn.module import Module
+
+
+@dataclass(frozen=True)
+class ParameterSelection:
+    """Which parameters of a model get quantized."""
+
+    fc_names: tuple[str, ...]
+    embedding_names: tuple[str, ...]
+
+
+def select_parameters(model: Module) -> ParameterSelection:
+    """Locate the FC weight matrices and embedding tables of ``model``.
+
+    Works for a bare :class:`BertModel` or any head wrapping one (the head's
+    own parameters stay FP32, as in the paper where heads are task-added and
+    tiny).
+    """
+    for prefix, module in model.named_modules():
+        if isinstance(module, BertModel):
+            dotted = f"{prefix}." if prefix else ""
+            fc = tuple(f"{dotted}{name}" for name in module.fc_parameter_names())
+            emb = tuple(f"{dotted}{name}" for name in module.embedding_parameter_names())
+            return ParameterSelection(fc_names=fc, embedding_names=emb)
+    raise QuantizationError("model does not contain a BertModel to quantize")
+
+
+@dataclass
+class QuantizedModel:
+    """A GOBO-compressed model: quantized tensors plus untouched FP32 params."""
+
+    quantized: dict[str, GoboQuantizedTensor]
+    fp32: dict[str, np.ndarray]
+    fc_names: tuple[str, ...]
+    embedding_names: tuple[str, ...]
+    iterations: dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------ reconstruction
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Full FP32 state dict: dequantized layers + passthrough params."""
+        state = {name: value.copy() for name, value in self.fp32.items()}
+        for name, tensor in self.quantized.items():
+            state[name] = tensor.dequantize()
+        return state
+
+    def apply_to(self, model: Module) -> Module:
+        """Load the reconstructed weights into ``model`` and return it."""
+        model.load_state_dict(self.state_dict())
+        return model
+
+    # ----------------------------------------------------------------- metrics
+    def _storage(self, names: tuple[str, ...]) -> tuple[int, int]:
+        original = compressed = 0
+        for name in names:
+            if name not in self.quantized:
+                continue
+            report: StorageReport = self.quantized[name].storage()
+            original += report.original_bytes
+            compressed += report.compressed_bytes
+        return original, compressed
+
+    def weight_compression_ratio(self) -> float:
+        """CR over the FC weights alone."""
+        original, compressed = self._storage(self.fc_names)
+        return original / compressed if compressed else float("inf")
+
+    def embedding_compression_ratio(self) -> float:
+        """CR over the quantized embedding tables alone (Table VII)."""
+        original, compressed = self._storage(self.embedding_names)
+        return original / compressed if compressed else float("inf")
+
+    def model_compression_ratio(self) -> float:
+        """CR over everything GOBO touches (the Table III column).
+
+        Parameters left FP32 contribute equally to both sides and are
+        excluded, matching the paper's weights+embeddings accounting.
+        """
+        names = self.fc_names + self.embedding_names
+        original, compressed = self._storage(names)
+        return original / compressed if compressed else float("inf")
+
+    def outlier_fraction(self) -> float:
+        """Overall fraction of quantized weights stored as outliers."""
+        total = sum(t.total_count for t in self.quantized.values())
+        outliers = sum(t.outlier_count for t in self.quantized.values())
+        return outliers / total if total else 0.0
+
+    def compressed_bytes(self) -> int:
+        """Total compressed footprint of the quantized tensors."""
+        return sum(t.storage().compressed_bytes for t in self.quantized.values())
+
+    def original_bytes(self) -> int:
+        """FP32 footprint of the quantized tensors."""
+        return sum(t.total_count * BYTES_PER_FP32 for t in self.quantized.values())
+
+
+def quantize_state_dict(
+    state: dict[str, np.ndarray],
+    fc_names: tuple[str, ...],
+    embedding_names: tuple[str, ...] = (),
+    weight_bits: int | LayerPolicy = 3,
+    embedding_bits: int | None = 4,
+    method: str = "gobo",
+    log_prob_threshold: float = DEFAULT_LOG_PROB_THRESHOLD,
+) -> QuantizedModel:
+    """Quantize selected tensors of a state dict; pass the rest through.
+
+    ``weight_bits`` may be an int (uniform) or a :class:`LayerPolicy` (e.g.
+    the RoBERTa mixed 3b/4b recipe).  ``embedding_bits=None`` leaves the
+    embedding tables FP32 (the Figure 4 "FP32 model" scenario is the reverse:
+    quantize only embeddings by passing an empty ``fc_names``).
+    """
+    policy = weight_bits if isinstance(weight_bits, LayerPolicy) else LayerPolicy.uniform(weight_bits)
+    missing = [n for n in (*fc_names, *embedding_names) if n not in state]
+    if missing:
+        raise QuantizationError(f"state dict is missing tensors: {missing}")
+
+    quantized: dict[str, GoboQuantizedTensor] = {}
+    iterations: dict[str, int] = {}
+    for name in fc_names:
+        tensor, result = quantize_tensor(
+            state[name],
+            bits=policy.bits_for(name),
+            log_prob_threshold=log_prob_threshold,
+            method=method,
+        )
+        quantized[name] = tensor
+        iterations[name] = result.iterations
+    if embedding_bits is not None:
+        for name in embedding_names:
+            tensor, result = quantize_tensor(
+                state[name],
+                bits=embedding_bits,
+                log_prob_threshold=log_prob_threshold,
+                method=method,
+            )
+            quantized[name] = tensor
+            iterations[name] = result.iterations
+
+    fp32 = {name: value for name, value in state.items() if name not in quantized}
+    return QuantizedModel(
+        quantized=quantized,
+        fp32=fp32,
+        fc_names=tuple(fc_names),
+        embedding_names=tuple(embedding_names),
+        iterations=iterations,
+    )
+
+
+def quantize_model(
+    model: Module,
+    weight_bits: int | LayerPolicy = 3,
+    embedding_bits: int | None = 4,
+    method: str = "gobo",
+    log_prob_threshold: float = DEFAULT_LOG_PROB_THRESHOLD,
+    quantize_weights: bool = True,
+) -> QuantizedModel:
+    """Quantize a live model's BERT FC layers and embedding tables.
+
+    Set ``quantize_weights=False`` for the Figure 4 embedding-only scenario.
+    """
+    selection = select_parameters(model)
+    return quantize_state_dict(
+        model.state_dict(),
+        fc_names=selection.fc_names if quantize_weights else (),
+        embedding_names=selection.embedding_names,
+        weight_bits=weight_bits,
+        embedding_bits=embedding_bits,
+        method=method,
+        log_prob_threshold=log_prob_threshold,
+    )

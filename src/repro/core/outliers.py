@@ -1,0 +1,93 @@
+"""Gaussian outlier detection (Section IV-A of the paper).
+
+GOBO fits a single Gaussian to a layer's weights and computes each weight's
+log-probability under it (Eq. 1).  Weights scoring below a threshold —
+**-4 by default, the paper's empirically sufficient value** — are "outliers"
+and are stored as-is in FP32; the rest form the "G" (Gaussian) group that is
+quantized to a handful of representative values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.stats.gaussian import GaussianFit
+
+DEFAULT_LOG_PROB_THRESHOLD = -4.0
+
+
+@dataclass(frozen=True)
+class OutlierSplit:
+    """The result of splitting one weight tensor into G and O groups.
+
+    Attributes
+    ----------
+    outlier_mask:
+        Boolean array of the input's shape; True marks an outlier.
+    fit:
+        The Gaussian fitted to *all* weights of the tensor.
+    threshold:
+        The log-probability threshold used.
+    """
+
+    outlier_mask: np.ndarray
+    fit: GaussianFit
+    threshold: float
+
+    @property
+    def outlier_count(self) -> int:
+        return int(self.outlier_mask.sum())
+
+    @property
+    def total_count(self) -> int:
+        return int(self.outlier_mask.size)
+
+    @property
+    def outlier_fraction(self) -> float:
+        """Fraction of weights classified as outliers (paper: ~0.001)."""
+        if self.total_count == 0:
+            return 0.0
+        return self.outlier_count / self.total_count
+
+    def gaussian_values(self, weights: np.ndarray) -> np.ndarray:
+        """The G-group values of ``weights`` as a flat array."""
+        return np.asarray(weights)[~self.outlier_mask]
+
+    def outlier_values(self, weights: np.ndarray) -> np.ndarray:
+        """The O-group values of ``weights`` as a flat array."""
+        return np.asarray(weights)[self.outlier_mask]
+
+
+class OutlierDetector:
+    """Splits weight tensors into Gaussian bulk and outlier fringe."""
+
+    def __init__(self, log_prob_threshold: float = DEFAULT_LOG_PROB_THRESHOLD) -> None:
+        self.log_prob_threshold = float(log_prob_threshold)
+
+    def split(self, weights: np.ndarray) -> OutlierSplit:
+        """Classify every weight of ``weights`` (any shape)."""
+        weights = np.asarray(weights)
+        fit = GaussianFit.fit(weights)
+        log_probs = fit.log_pdf(weights)
+        mask = log_probs < self.log_prob_threshold
+        return OutlierSplit(outlier_mask=mask, fit=fit, threshold=self.log_prob_threshold)
+
+    def magnitude_cutoff(self, weights: np.ndarray) -> float:
+        """Distance from the mean (in weight units) at which values become
+        outliers under the current threshold.
+
+        Solving ``log pdf(x) = threshold`` for ``|x - mean|`` gives the
+        closed-form band edge; useful for plotting Figure 1c's color coding.
+        """
+        fit = GaussianFit.fit(weights)
+        if fit.std == 0.0:
+            return 0.0
+        import math
+
+        inner = -2.0 * (self.log_prob_threshold + math.log(fit.std)
+                        + 0.5 * math.log(2.0 * math.pi))
+        if inner <= 0:
+            return 0.0
+        return fit.std * math.sqrt(inner)

@@ -1,0 +1,81 @@
+"""Per-layer bit-width policies.
+
+Most experiments quantize every FC layer at the same width, but Section V's
+RoBERTa result uses a **mixed policy**: the Value projection and the
+Intermediate FC of the first half of the encoder stack are sensitive and get
+4-bit indexes, the rest 3-bit.  :class:`LayerPolicy` expresses such rules.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class PolicyRule:
+    """If ``pattern`` (a regex) matches the parameter name, use ``bits``."""
+
+    pattern: str
+    bits: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.bits <= 8:
+            raise ConfigError(f"rule bits must be in [1, 8], got {self.bits}")
+        try:
+            re.compile(self.pattern)
+        except re.error as exc:
+            raise ConfigError(f"invalid rule pattern {self.pattern!r}: {exc}") from exc
+
+    def matches(self, name: str) -> bool:
+        return re.search(self.pattern, name) is not None
+
+
+@dataclass(frozen=True)
+class LayerPolicy:
+    """Bit width per layer: first matching rule wins, else ``default_bits``."""
+
+    default_bits: int = 3
+    rules: tuple[PolicyRule, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.default_bits <= 8:
+            raise ConfigError(f"default_bits must be in [1, 8], got {self.default_bits}")
+
+    def bits_for(self, name: str) -> int:
+        for rule in self.rules:
+            if rule.matches(name):
+                return rule.bits
+        return self.default_bits
+
+    @classmethod
+    def uniform(cls, bits: int) -> "LayerPolicy":
+        """Every layer at the same width."""
+        return cls(default_bits=bits)
+
+
+def mixed_precision_policy(
+    num_sensitive_layers: int,
+    sensitive_bits: int = 4,
+    default_bits: int = 3,
+    sensitive_components: tuple[str, ...] = ("attention.value", "intermediate"),
+) -> LayerPolicy:
+    """The paper's RoBERTa recipe (Table VI, the '3b/4b' rows).
+
+    The Value FC in self-attention and the Intermediate FC of the first
+    ``num_sensitive_layers`` encoder layers are quantized at
+    ``sensitive_bits``; everything else at ``default_bits``.  The paper uses
+    6 of 12 layers for RoBERTa and 14 of 24 for RoBERTa-Large.
+    """
+    if num_sensitive_layers < 0:
+        raise ConfigError(f"num_sensitive_layers must be >= 0, got {num_sensitive_layers}")
+    rules = []
+    for layer in range(num_sensitive_layers):
+        for component in sensitive_components:
+            escaped = re.escape(component)
+            rules.append(
+                PolicyRule(pattern=rf"encoder\.{layer}\.{escaped}\.weight$", bits=sensitive_bits)
+            )
+    return LayerPolicy(default_bits=default_bits, rules=tuple(rules))

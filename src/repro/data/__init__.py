@@ -1,0 +1,26 @@
+"""Synthetic evaluation tasks: MNLI-like, STS-B-like, SQuAD-like."""
+
+from repro.data.batching import iterate_batches
+from repro.data.metrics import accuracy, metric_for_task, span_f1, spearman
+from repro.data.mnli import LABELS as MNLI_LABELS
+from repro.data.mnli import generate_mnli
+from repro.data.squad import generate_squad
+from repro.data.stsb import generate_stsb
+from repro.data.synthetic_language import SyntheticLanguage, default_language
+from repro.data.task import TaskData, TaskSplits
+
+__all__ = [
+    "MNLI_LABELS",
+    "SyntheticLanguage",
+    "TaskData",
+    "TaskSplits",
+    "accuracy",
+    "default_language",
+    "generate_mnli",
+    "generate_squad",
+    "generate_stsb",
+    "iterate_batches",
+    "metric_for_task",
+    "span_f1",
+    "spearman",
+]

@@ -1,0 +1,31 @@
+"""Minibatch iteration over :class:`~repro.data.task.TaskData`."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.data.task import TaskData
+from repro.utils.rng import ensure_rng
+
+
+def iterate_batches(
+    data: TaskData,
+    batch_size: int,
+    shuffle: bool = False,
+    rng: int | np.random.Generator | None = None,
+    drop_last: bool = False,
+) -> Iterator[TaskData]:
+    """Yield :class:`TaskData` minibatches of ``batch_size``."""
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    count = len(data)
+    order = np.arange(count)
+    if shuffle:
+        ensure_rng(rng).shuffle(order)
+    for start in range(0, count, batch_size):
+        index = order[start : start + batch_size]
+        if drop_last and index.size < batch_size:
+            return
+        yield data.subset(index)

@@ -1,0 +1,81 @@
+"""Synthetic MNLI: 3-way sentence-pair classification by weighted-sum order.
+
+Structure mirrors GLUE MNLI — a premise/hypothesis pair labelled with one of
+three relations, scored by accuracy.  The relation here is the order of the
+two sentences' weighted value sums: the premise "dominates" (label 0, the
+entailment slot), the sums are "equal" (label 1, neutral), or the hypothesis
+dominates (label 2, contradiction).  Sum differences are small (0, +/-1,
++/-2), so the decision boundaries are tight: the model must aggregate value
+tokens across both segments precisely, which makes this — like the paper's
+MNLI — the most quantization-sensitive task in the suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.synthetic_language import SyntheticLanguage, default_language
+from repro.data.task import TaskData, TaskSplits
+from repro.tokenization.tokenizer import Tokenizer
+from repro.utils.rng import derive_rng, ensure_rng
+
+LABELS = ("premise_dominates", "equal", "hypothesis_dominates")
+# Sum differences and their sampling weights: +/-1 dominates so most examples
+# sit next to a decision boundary.
+_DIFFERENCES = np.array([-2, -1, -1, 0, 0, 1, 1, 2])
+
+MIN_SCORE = 2
+MAX_SCORE = 10
+
+
+def _make_example(
+    language: SyntheticLanguage, rng: np.random.Generator
+) -> tuple[str, str, int]:
+    premise_score = int(rng.integers(MIN_SCORE, MAX_SCORE - 1))
+    difference = int(rng.choice(_DIFFERENCES))
+    hypothesis_score = int(np.clip(premise_score + difference, 0, MAX_SCORE))
+    if premise_score > hypothesis_score:
+        label = 0
+    elif premise_score == hypothesis_score:
+        label = 1
+    else:
+        label = 2
+    return (
+        language.value_sentence(premise_score, rng),
+        language.value_sentence(hypothesis_score, rng),
+        label,
+    )
+
+
+def generate_mnli(
+    num_train: int = 3500,
+    num_eval: int = 400,
+    max_length: int = 32,
+    language: SyntheticLanguage | None = None,
+    rng: int | np.random.Generator | None = 0,
+) -> TaskSplits:
+    """Generate train/eval splits of the synthetic MNLI task."""
+    language = language or default_language()
+    tokenizer = Tokenizer(language.build_vocabulary())
+    base = ensure_rng(rng)
+
+    def build(count: int, split: str) -> TaskData:
+        gen = derive_rng(base, "mnli", split)
+        pairs, labels = [], []
+        for _ in range(count):
+            premise, hypothesis, label = _make_example(language, gen)
+            pairs.append((premise, hypothesis))
+            labels.append(label)
+        return TaskData(
+            name="mnli",
+            task_type="classification",
+            encodings=tokenizer.encode_batch(pairs, max_length=max_length),
+            labels=np.array(labels, dtype=np.int64),
+            num_labels=len(LABELS),
+        )
+
+    return TaskSplits(
+        train=build(num_train, "train"),
+        eval=build(num_eval, "eval"),
+        tokenizer=tokenizer,
+    )

@@ -1,0 +1,79 @@
+"""Synthetic SQuAD: extractive span prediction, scored by token-overlap F1.
+
+Structure mirrors SQuAD v1.1 — a question (segment A) and a context
+(segment B); the model predicts a start/end token span in the context.  The
+context hides one answer span — a run of 1-3 entity tokens introduced by the
+unique ``ans`` marker — among distractor markers that also precede entity
+runs, plus filler.  The model must detect the answer marker and delimit the
+entity run (find where entities stop), so both boundaries carry positional
+precision; partial-overlap F1 then degrades gradually under quantization
+rather than all-or-nothing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.synthetic_language import SyntheticLanguage, default_language
+from repro.data.task import TaskData, TaskSplits
+from repro.tokenization.tokenizer import Tokenizer
+from repro.utils.rng import derive_rng, ensure_rng
+
+MAX_ANSWER_LENGTH = 3
+
+
+def _make_example(
+    language: SyntheticLanguage, rng: np.random.Generator
+) -> tuple[str, str, int, int]:
+    """Returns (question, context, answer_start, answer_end) in word offsets."""
+    words = [str(w) for w in rng.choice(language.fillers, size=int(rng.integers(3, 6)))]
+    # Distractor markers, each introducing its own entity run.
+    n_distractors = int(rng.integers(1, min(3, len(language.distractor_markers)) + 1))
+    for marker in rng.choice(language.distractor_markers, size=n_distractors, replace=False):
+        position = int(rng.integers(len(words) + 1))
+        run = [str(e) for e in rng.choice(language.entities, size=int(rng.integers(1, 3)))]
+        words[position:position] = [str(marker)] + run
+    # The answer: the unique `ans` marker followed by 1-3 entities.
+    position = int(rng.integers(len(words) + 1))
+    span_length = int(rng.integers(1, MAX_ANSWER_LENGTH + 1))
+    answer = [str(e) for e in rng.choice(language.entities, size=span_length)]
+    words[position:position] = [language.answer_marker] + answer
+    start = position + 1
+    question = language.answer_marker
+    return question, " ".join(words), start, start + span_length - 1
+
+
+def generate_squad(
+    num_train: int = 3500,
+    num_eval: int = 400,
+    max_length: int = 28,
+    language: SyntheticLanguage | None = None,
+    rng: int | np.random.Generator | None = 0,
+) -> TaskSplits:
+    """Generate train/eval splits of the synthetic SQuAD task."""
+    language = language or default_language()
+    tokenizer = Tokenizer(language.build_vocabulary())
+    base = ensure_rng(rng)
+
+    def build(count: int, split: str) -> TaskData:
+        gen = derive_rng(base, "squad", split)
+        pairs, spans = [], []
+        for _ in range(count):
+            question, context, start, end = _make_example(language, gen)
+            pairs.append((question, context))
+            # Encoded layout: [CLS] question [SEP] context..., so context word
+            # offsets shift by 2 + len(question words).
+            offset = 2 + len(question.split())
+            spans.append((offset + start, offset + end))
+        return TaskData(
+            name="squad",
+            task_type="span",
+            encodings=tokenizer.encode_batch(pairs, max_length=max_length),
+            labels=np.array(spans, dtype=np.int64),
+        )
+
+    return TaskSplits(
+        train=build(num_train, "train"),
+        eval=build(num_eval, "eval"),
+        tokenizer=tokenizer,
+    )

@@ -1,0 +1,125 @@
+"""A closed synthetic language for the evaluation tasks.
+
+The paper evaluates pre-trained BERT checkpoints on MNLI, STS-B and SQuAD.
+Offline — with no pre-trained checkpoints and no GLUE data — we substitute
+tasks with the same *structure* (sentence-pair 3-way classification scored by
+accuracy; sentence-pair regression scored by Spearman; span extraction scored
+by F1) built over a closed language that tiny from-scratch transformers can
+learn to the high-90s, while remaining *gradably* sensitive to weight
+quantization.  The load-bearing mechanism is **counting**: transformer
+attention aggregates token evidence, so task outputs depend on precise sums
+over many weights, and quantization noise produces smooth, measurable
+degradation (catastrophic at 2 bits, ~1% at 3 bits, lossless at 4+ — the
+paper's headline trend).
+
+Word families:
+
+* **value words** — two weight classes (several surface forms each, so the
+  model must learn class membership rather than memorize one token):
+  light forms count 1, heavy forms count 2.  MNLI/STS-B compare weighted sums.
+* **entities** — answer vocabulary for the span task.
+* **answer/distractor markers** — the span task's cue structure.
+* **fillers** — content-free padding so lengths vary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tokenization.vocab import Vocabulary
+from repro.utils.rng import ensure_rng
+
+LIGHT_WEIGHT = 1
+HEAVY_WEIGHT = 2
+
+
+class SyntheticLanguage:
+    """The closed world the synthetic tasks are generated from."""
+
+    def __init__(
+        self,
+        num_light_forms: int = 4,
+        num_heavy_forms: int = 4,
+        num_entities: int = 20,
+        num_fillers: int = 30,
+        num_distractor_markers: int = 3,
+    ) -> None:
+        if num_light_forms < 1 or num_heavy_forms < 1:
+            raise ValueError("need at least one surface form per value class")
+        if num_entities < 2:
+            raise ValueError(f"need at least 2 entities, got {num_entities}")
+        if num_fillers < 1:
+            raise ValueError(f"need at least 1 filler, got {num_fillers}")
+        self.light_forms = [f"one{i}" for i in range(num_light_forms)]
+        self.heavy_forms = [f"two{i}" for i in range(num_heavy_forms)]
+        self.entities = [f"ent{i}" for i in range(num_entities)]
+        self.fillers = [f"word{i}" for i in range(num_fillers)]
+        self.answer_marker = "ans"
+        self.distractor_markers = [f"mark{i}" for i in range(num_distractor_markers)]
+
+    # ----------------------------------------------------------------- tokens
+    def tokens(self) -> list[str]:
+        """Every surface form, in deterministic order."""
+        return (
+            self.light_forms
+            + self.heavy_forms
+            + self.entities
+            + self.fillers
+            + [self.answer_marker]
+            + self.distractor_markers
+        )
+
+    def build_vocabulary(self) -> Vocabulary:
+        return Vocabulary(self.tokens())
+
+    def vocabulary_size(self) -> int:
+        """Token count including the 5 special tokens."""
+        return len(self.tokens()) + 5
+
+    def word_weight(self, word: str) -> int:
+        """The counting weight of a word (0 for non-value words)."""
+        if word in self.light_forms:
+            return LIGHT_WEIGHT
+        if word in self.heavy_forms:
+            return HEAVY_WEIGHT
+        return 0
+
+    # -------------------------------------------------------------- sampling
+    def value_sentence(
+        self,
+        score: int,
+        rng: int | np.random.Generator | None,
+        min_fillers: int = 3,
+        max_fillers: int = 7,
+    ) -> str:
+        """A sentence whose value words sum exactly to ``score``.
+
+        Heavy (weight-2) and light (weight-1) forms are mixed at random, then
+        shuffled with filler words, so neither token count nor position leaks
+        the score.
+        """
+        if score < 0:
+            raise ValueError(f"score must be non-negative, got {score}")
+        gen = ensure_rng(rng)
+        words: list[str] = []
+        remaining = score
+        while remaining > 0:
+            if remaining >= HEAVY_WEIGHT and gen.random() < 0.5:
+                words.append(str(gen.choice(self.heavy_forms)))
+                remaining -= HEAVY_WEIGHT
+            else:
+                words.append(str(gen.choice(self.light_forms)))
+                remaining -= LIGHT_WEIGHT
+        n_fillers = int(gen.integers(min_fillers, max_fillers + 1))
+        words.extend(str(w) for w in gen.choice(self.fillers, size=n_fillers))
+        gen.shuffle(words)
+        return " ".join(words)
+
+    def sentence_score(self, sentence: str) -> int:
+        """The weighted value sum of a sentence (inverse of value_sentence)."""
+        return sum(self.word_weight(word) for word in sentence.split())
+
+
+def default_language() -> SyntheticLanguage:
+    """The standard language (~67 tokens incl. specials)."""
+    return SyntheticLanguage()

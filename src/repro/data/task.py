@@ -1,0 +1,68 @@
+"""Task dataset containers shared by all synthetic benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.tokenization.tokenizer import Encoding, Tokenizer
+
+TASK_TYPES = ("classification", "regression", "span")
+
+
+@dataclass(frozen=True)
+class TaskData:
+    """A fully encoded split of one task.
+
+    ``labels`` is ``(n,)`` int for classification, ``(n,)`` float for
+    regression, and ``(n, 2)`` int start/end positions for span tasks.
+    """
+
+    name: str
+    task_type: str
+    encodings: Encoding
+    labels: np.ndarray
+    num_labels: int = 0
+
+    def __post_init__(self) -> None:
+        if self.task_type not in TASK_TYPES:
+            raise ValueError(f"unknown task_type {self.task_type!r}")
+        n = self.encodings.input_ids.shape[0]
+        if self.labels.shape[0] != n:
+            raise ShapeError(
+                f"{self.name}: {n} encodings but {self.labels.shape[0]} labels"
+            )
+        if self.task_type == "span" and (self.labels.ndim != 2 or self.labels.shape[1] != 2):
+            raise ShapeError(f"{self.name}: span labels must be (n, 2), got {self.labels.shape}")
+
+    def __len__(self) -> int:
+        return int(self.encodings.input_ids.shape[0])
+
+    @property
+    def max_length(self) -> int:
+        return int(self.encodings.input_ids.shape[1])
+
+    def subset(self, indices: np.ndarray) -> "TaskData":
+        """A new :class:`TaskData` restricted to ``indices``."""
+        return TaskData(
+            name=self.name,
+            task_type=self.task_type,
+            encodings=Encoding(
+                input_ids=self.encodings.input_ids[indices],
+                attention_mask=self.encodings.attention_mask[indices],
+                token_type_ids=self.encodings.token_type_ids[indices],
+            ),
+            labels=self.labels[indices],
+            num_labels=self.num_labels,
+        )
+
+
+@dataclass(frozen=True)
+class TaskSplits:
+    """Train/eval splits plus the tokenizer that encoded them."""
+
+    train: TaskData
+    eval: TaskData
+    tokenizer: Tokenizer

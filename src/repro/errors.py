@@ -1,0 +1,23 @@
+"""Library-wide exception types."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """A model or quantizer configuration is invalid."""
+
+
+class ShapeError(ReproError):
+    """A tensor has an unexpected shape."""
+
+
+class QuantizationError(ReproError):
+    """Quantization could not be performed on the given tensor."""
+
+
+class SerializationError(ReproError):
+    """A stored model archive is malformed."""

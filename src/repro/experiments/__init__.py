@@ -1,0 +1,37 @@
+"""Experiment harness: one runner per paper table/figure."""
+
+from repro.experiments.accuracy import (
+    RECIPES,
+    FinetunedModel,
+    TrainRecipe,
+    error_vs_baseline,
+    get_finetuned,
+    quantized_score,
+    task_splits,
+)
+from repro.experiments.fidelity import (
+    POLICIES,
+    FidelityResult,
+    fidelity_sweep,
+    policy_fidelity,
+)
+from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
+from repro.experiments.tables import TableResult
+
+__all__ = [
+    "EXPERIMENTS",
+    "FidelityResult",
+    "FinetunedModel",
+    "POLICIES",
+    "RECIPES",
+    "TableResult",
+    "TrainRecipe",
+    "error_vs_baseline",
+    "fidelity_sweep",
+    "get_experiment",
+    "get_finetuned",
+    "list_experiments",
+    "policy_fidelity",
+    "quantized_score",
+    "task_splits",
+]

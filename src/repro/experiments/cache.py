@@ -1,0 +1,77 @@
+"""On-disk cache for fine-tuned model checkpoints.
+
+Fine-tuning the tiny evaluation models takes minutes on one CPU; every
+benchmark that needs, say, "tiny-bert-base fine-tuned on MNLI" shares one
+checkpoint through this cache.  Checkpoints are ``.npz`` state dicts keyed by
+``(config, task, seed)`` and stored under the repository's ``.cache/``
+directory (override with the ``REPRO_CACHE_DIR`` environment variable).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import SerializationError
+
+
+def cache_dir() -> Path:
+    """The checkpoint cache directory (created on demand)."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        path = Path(override)
+    else:
+        path = Path(__file__).resolve().parents[3] / ".cache" / "checkpoints"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def checkpoint_path(key: str) -> Path:
+    """File path for a cache key (sanitized)."""
+    safe = "".join(c if (c.isalnum() or c in "-_.") else "_" for c in key)
+    if not safe:
+        raise SerializationError("cache key is empty")
+    return cache_dir() / f"{safe}.npz"
+
+
+def save_state(key: str, state: dict[str, np.ndarray], scores: dict[str, float] | None = None):
+    """Persist a state dict (and optional scalar metrics) under ``key``."""
+    payload = {f"param::{name}": value for name, value in state.items()}
+    for name, value in (scores or {}).items():
+        payload[f"score::{name}"] = np.float64(value)
+    np.savez(checkpoint_path(key), **payload)
+
+
+def load_state(key: str) -> tuple[dict[str, np.ndarray], dict[str, float]] | None:
+    """Load a cached state dict, or None if absent/corrupt."""
+    path = checkpoint_path(key)
+    if not path.exists():
+        return None
+    try:
+        with np.load(path) as archive:
+            state = {
+                name[len("param::"):]: archive[name]
+                for name in archive.files
+                if name.startswith("param::")
+            }
+            scores = {
+                name[len("score::"):]: float(archive[name])
+                for name in archive.files
+                if name.startswith("score::")
+            }
+    except (OSError, ValueError, KeyError):
+        return None
+    if not state:
+        return None
+    return state, scores
+
+
+def clear_cache() -> int:
+    """Delete all cached checkpoints; returns how many were removed."""
+    removed = 0
+    for path in cache_dir().glob("*.npz"):
+        path.unlink()
+        removed += 1
+    return removed

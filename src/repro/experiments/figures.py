@@ -1,0 +1,247 @@
+"""Reproduction of the paper's Figures 1-4 as data series.
+
+Each ``fig*`` function returns the numeric series a plotting tool would
+consume (the benchmarks print compact text renderings), so "regenerating a
+figure" means regenerating its data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.clustering import ConvergenceTrace, gobo_cluster, kmeans_cluster
+from repro.core.formats import compression_curve
+from repro.core.outliers import OutlierDetector
+from repro.experiments.accuracy import get_finetuned, quantized_score
+from repro.models import get_config
+from repro.models.zoo import (
+    SyntheticWeightSpec,
+    fc_layer_shapes,
+    synthetic_layer_for,
+    synthetic_layer_weights,
+)
+from repro.stats import gaussian_overlap, summarize_weights, weight_histogram
+
+
+# ---------------------------------------------------------------------------
+# Figure 1b/1c — weight distributions and the outlier fringe
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LayerDistribution:
+    """One layer's Figure 1b histogram plus Gaussianity summary."""
+
+    layer: str
+    centers: np.ndarray
+    counts: np.ndarray
+    mean: float
+    std: float
+    gaussian_overlap: float
+
+
+def fig1b_distributions(
+    config_name: str = "bert-base",
+    layer_indices: tuple[int, ...] = (5, 10, 15, 20, 25),
+    bins: int = 80,
+) -> list[LayerDistribution]:
+    """Per-layer weight histograms (Figure 1b) on full-scale synthetic weights."""
+    config = get_config(config_name)
+    results = []
+    for index in layer_indices:
+        name, weights = synthetic_layer_for(config, index)
+        histogram = weight_histogram(weights, bins=bins)
+        summary = summarize_weights(weights)
+        results.append(
+            LayerDistribution(
+                layer=name,
+                centers=histogram.centers,
+                counts=histogram.counts,
+                mean=summary.mean,
+                std=summary.std,
+                gaussian_overlap=gaussian_overlap(weights),
+            )
+        )
+    return results
+
+
+@dataclass(frozen=True)
+class WeightScatter:
+    """Figure 1c series: sampled weights colored by outlier membership.
+
+    ``outlier_fraction`` is the full tensor's fraction — the sampled series
+    keeps every outlier visible, so computing the fraction from the sample
+    would overstate it.
+    """
+
+    layer: str
+    positions: np.ndarray
+    values: np.ndarray
+    is_outlier: np.ndarray
+    magnitude_cutoff: float
+    outlier_fraction: float
+
+
+def fig1c_weight_scatter(
+    config_name: str = "bert-base",
+    layer_index: int = 10,
+    sample: int = 20000,
+    rng: int = 0,
+) -> WeightScatter:
+    """Sampled weight-value scatter of one layer with outlier classification."""
+    config = get_config(config_name)
+    name, weights = synthetic_layer_for(config, layer_index)
+    weights = weights.ravel()
+    detector = OutlierDetector()
+    split = detector.split(weights)
+    gen = np.random.default_rng(rng)
+    take = min(sample, weights.size)
+    idx = np.sort(gen.choice(weights.size, size=take, replace=False))
+    # Keep every outlier visible regardless of sampling (the sampled series
+    # therefore over-represents outliers; ``outlier_fraction`` reports the
+    # true full-tensor fraction).
+    idx = np.union1d(idx, np.flatnonzero(split.outlier_mask.ravel()))
+    return WeightScatter(
+        layer=name,
+        positions=idx,
+        values=weights[idx],
+        is_outlier=split.outlier_mask.ravel()[idx],
+        magnitude_cutoff=detector.magnitude_cutoff(weights),
+        outlier_fraction=split.outlier_fraction,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 2 — GOBO vs K-Means convergence
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ConvergenceComparison:
+    """Figure 2 series: L1/L2 per iteration for both algorithms."""
+
+    gobo_trace: ConvergenceTrace
+    kmeans_trace: ConvergenceTrace
+    gobo_iterations: int
+    kmeans_iterations: int
+    gobo_final_l1: float
+    kmeans_final_l1: float
+    gobo_inference_error: float | None = None
+    kmeans_inference_error: float | None = None
+
+    @property
+    def speedup(self) -> float:
+        """How many times fewer iterations GOBO needs (paper: ~9x)."""
+        if self.gobo_iterations == 0:
+            return float("inf")
+        return self.kmeans_iterations / self.gobo_iterations
+
+
+def fig2_convergence(
+    layer_shape: tuple[int, int] = (768, 768),
+    bits: int = 3,
+    rng: int = 0,
+    with_inference_error: bool = False,
+    use_cache: bool = True,
+) -> ConvergenceComparison:
+    """GOBO vs K-Means on one representative layer's G group.
+
+    ``with_inference_error=True`` additionally quantizes the fine-tuned
+    MNLI model with both policies and reports the accuracy losses the
+    figure annotates.
+    """
+    weights = synthetic_layer_weights(layer_shape, SyntheticWeightSpec(), rng=rng)
+    split = OutlierDetector().split(weights)
+    gaussian = split.gaussian_values(weights).astype(np.float64)
+    gobo = gobo_cluster(gaussian, bits)
+    kmeans = kmeans_cluster(gaussian, bits)
+    gobo_error = kmeans_error = None
+    if with_inference_error:
+        finetuned = get_finetuned("bert-base", "mnli", use_cache=use_cache)
+        baseline = finetuned.baseline_score
+        gobo_error = baseline - quantized_score(finetuned, bits, None, method="gobo")
+        kmeans_error = baseline - quantized_score(finetuned, bits, None, method="kmeans")
+    return ConvergenceComparison(
+        gobo_trace=gobo.trace,
+        kmeans_trace=kmeans.trace,
+        gobo_iterations=gobo.iterations,
+        kmeans_iterations=kmeans.iterations,
+        gobo_final_l1=gobo.l1_norm(),
+        kmeans_final_l1=kmeans.l1_norm(),
+        gobo_inference_error=gobo_error,
+        kmeans_inference_error=kmeans_error,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 — outlier census and the compression-ratio curve
+# ---------------------------------------------------------------------------
+
+
+def fig3_outlier_census(config_name: str = "bert-base") -> list[tuple[str, float]]:
+    """Per-FC-layer outlier percentage across the whole model (Figure 3)."""
+    config = get_config(config_name)
+    detector = OutlierDetector()
+    census = []
+    for position in range(config.num_fc_layers):
+        name, weights = synthetic_layer_for(config, position)
+        census.append((name, detector.split(weights).outlier_fraction))
+    return census
+
+
+def fig3_compression_curve(
+    bits_list: tuple[int, ...] = (2, 3, 4, 5, 6),
+    weight_counts: tuple[int, ...] = (4, 16, 64, 256, 1024, 4096, 65536, 1 << 20),
+) -> dict[int, list[tuple[int, float]]]:
+    """Compression ratio vs dictionary group size, per bit width."""
+    return {bits: compression_curve(bits, list(weight_counts)) for bits in bits_list}
+
+
+# ---------------------------------------------------------------------------
+# Figure 4 — embedding-table quantization accuracy
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EmbeddingAccuracyPoint:
+    """One bar of Figure 4: a model under one quantization scenario."""
+
+    model: str
+    scenario: str
+    score: float
+    normalized: float
+
+
+FIG4_SCENARIOS = (
+    ("fp32-weights, 3-bit embeddings", None, 3),
+    ("fp32-weights, 4-bit embeddings", None, 4),
+    ("gobo 3-bit weights, 3-bit embeddings", 3, 3),
+    ("gobo 3-bit weights, 4-bit embeddings", 3, 4),
+)
+
+
+def fig4_embedding_accuracy(
+    model_names: tuple[str, ...] = (
+        "bert-base", "bert-large", "distilbert", "roberta-base", "roberta-large"
+    ),
+    task: str = "mnli",
+    use_cache: bool = True,
+) -> list[EmbeddingAccuracyPoint]:
+    """Normalized accuracy under embedding-only and full GOBO quantization."""
+    points = []
+    for model_name in model_names:
+        finetuned = get_finetuned(model_name, task, use_cache=use_cache)
+        baseline = finetuned.baseline_score
+        for scenario, weight_bits, embedding_bits in FIG4_SCENARIOS:
+            score = quantized_score(finetuned, weight_bits, embedding_bits, method="gobo")
+            points.append(
+                EmbeddingAccuracyPoint(
+                    model=model_name,
+                    scenario=scenario,
+                    score=score,
+                    normalized=score / baseline if baseline else 0.0,
+                )
+            )
+    return points

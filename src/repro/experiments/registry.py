@@ -1,0 +1,70 @@
+"""Registry mapping the paper's table/figure identifiers to their runners.
+
+Used by the benchmark harness and the examples to enumerate every
+reproduction target (see DESIGN.md's per-experiment index).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.experiments import figures, tables
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproduction target."""
+
+    identifier: str
+    description: str
+    runner: Callable
+    needs_training: bool
+
+
+EXPERIMENTS: dict[str, Experiment] = {
+    exp.identifier: exp
+    for exp in (
+        Experiment(
+            "table1", "BERT architecture inventory", tables.table1_architecture, False
+        ),
+        Experiment("table2", "Memory footprint", tables.table2_footprint, False),
+        Experiment(
+            "table3", "Quantization-method comparison on MNLI",
+            tables.table3_method_comparison, True,
+        ),
+        Experiment(
+            "table4", "Centroid policies: BERT-Base MNLI/STS-B, BERT-Large SQuAD",
+            tables.table4_bert, True,
+        ),
+        Experiment("table5", "Centroid policies: DistilBERT MNLI", tables.table5_distilbert, True),
+        Experiment(
+            "table6", "Centroid policies + mixed precision: RoBERTa MNLI",
+            tables.table6_roberta, True,
+        ),
+        Experiment("table7", "Embedding-table compression", tables.table7_embeddings, False),
+        Experiment("fig1b", "Per-layer weight distributions", figures.fig1b_distributions, False),
+        Experiment("fig1c", "Weight scatter with outlier fringe", figures.fig1c_weight_scatter, False),
+        Experiment("fig2", "GOBO vs K-Means convergence", figures.fig2_convergence, False),
+        Experiment("fig3", "Per-layer outlier census", figures.fig3_outlier_census, False),
+        Experiment(
+            "fig3-curve", "Compression ratio vs dictionary group size",
+            figures.fig3_compression_curve, False,
+        ),
+        Experiment(
+            "fig4", "Embedding-quantization accuracy", figures.fig4_embedding_accuracy, True
+        ),
+    )
+}
+
+
+def get_experiment(identifier: str) -> Experiment:
+    try:
+        return EXPERIMENTS[identifier]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {identifier!r}; known: {known}") from None
+
+
+def list_experiments() -> list[str]:
+    return sorted(EXPERIMENTS)

@@ -1,0 +1,108 @@
+"""Uniform text rendering for every experiment's payload.
+
+The registry's runners return heterogeneous payloads (tables, figure series,
+dataclasses); :func:`render_payload` turns any of them into the text the
+benchmarks write to ``benchmarks/results/`` and the CLI prints.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import (
+    ConvergenceComparison,
+    EmbeddingAccuracyPoint,
+    LayerDistribution,
+    WeightScatter,
+)
+from repro.experiments.tables import TableResult
+from repro.utils.tables import format_table
+
+
+def render_payload(payload: object) -> str:
+    """Render any experiment payload as plain text."""
+    if isinstance(payload, TableResult):
+        return payload.render()
+    if isinstance(payload, list):
+        if not payload:
+            return "(empty)"
+        if all(isinstance(item, TableResult) for item in payload):
+            return "\n\n".join(item.render() for item in payload)
+        if all(isinstance(item, LayerDistribution) for item in payload):
+            return _render_distributions(payload)
+        if all(isinstance(item, EmbeddingAccuracyPoint) for item in payload):
+            return _render_embedding_accuracy(payload)
+        if all(isinstance(item, tuple) and len(item) == 2 for item in payload):
+            return _render_census(payload)
+    if isinstance(payload, ConvergenceComparison):
+        return _render_convergence(payload)
+    if isinstance(payload, WeightScatter):
+        return _render_scatter(payload)
+    if isinstance(payload, dict):
+        return _render_curves(payload)
+    return repr(payload)
+
+
+def _render_distributions(distributions: list[LayerDistribution]) -> str:
+    rows = [
+        [d.layer, f"{d.mean:+.5f}", f"{d.std:.5f}", f"{d.gaussian_overlap:.3f}"]
+        for d in distributions
+    ]
+    return format_table(
+        ["Layer", "Mean", "Std", "Gaussian overlap"],
+        rows,
+        title="Per-layer weight distributions",
+    )
+
+
+def _render_census(census: list[tuple[str, float]]) -> str:
+    rows = [[name, f"{fraction * 100:.3f}%"] for name, fraction in census]
+    return format_table(["Layer", "Outlier %"], rows, title="Per-layer outlier census")
+
+
+def _render_convergence(comparison: ConvergenceComparison) -> str:
+    lines = [
+        "GOBO vs K-Means convergence",
+        f"GOBO iterations    : {comparison.gobo_iterations}",
+        f"K-Means iterations : {comparison.kmeans_iterations}",
+        f"speedup            : {comparison.speedup:.1f}x",
+        f"GOBO final L1      : {comparison.gobo_final_l1:.1f}",
+        f"K-Means final L1   : {comparison.kmeans_final_l1:.1f}",
+    ]
+    if comparison.gobo_inference_error is not None:
+        lines.append(f"GOBO inference error   : {comparison.gobo_inference_error * 100:+.2f}%")
+    if comparison.kmeans_inference_error is not None:
+        lines.append(
+            f"K-Means inference error: {comparison.kmeans_inference_error * 100:+.2f}%"
+        )
+    return "\n".join(lines)
+
+
+def _render_scatter(scatter: WeightScatter) -> str:
+    return "\n".join(
+        [
+            f"Weight scatter: {scatter.layer}",
+            f"points   : {scatter.values.size}",
+            f"outliers : {int(scatter.is_outlier.sum())} "
+            f"({scatter.outlier_fraction * 100:.3f}% of the full tensor)",
+            f"cutoff |w|: {scatter.magnitude_cutoff:.5f}",
+        ]
+    )
+
+
+def _render_embedding_accuracy(points: list[EmbeddingAccuracyPoint]) -> str:
+    rows = [
+        [p.model, p.scenario, f"{p.score * 100:.2f}%", f"{p.normalized:.4f}"]
+        for p in points
+    ]
+    return format_table(
+        ["Model", "Scenario", "Score", "Normalized"],
+        rows,
+        title="Embedding-quantization accuracy",
+    )
+
+
+def _render_curves(curves: dict) -> str:
+    lines = ["Compression-ratio curves (group size -> ratio)"]
+    for key in sorted(curves):
+        series = ", ".join(f"{count}:{ratio:.2f}x" for count, ratio in curves[key])
+        lines.append(f"{key}-bit: {series}")
+    return "\n".join(lines)

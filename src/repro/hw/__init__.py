@@ -1,0 +1,13 @@
+"""Roofline hardware model: the paper's low-latency argument, quantified."""
+
+from repro.hw.latency import LatencyReport, gobo_speedup, inference_latency
+from repro.hw.spec import EDGE_NPU, SERVER_ACCELERATOR, HardwareSpec
+
+__all__ = [
+    "EDGE_NPU",
+    "HardwareSpec",
+    "LatencyReport",
+    "SERVER_ACCELERATOR",
+    "gobo_speedup",
+    "inference_latency",
+]

@@ -1,0 +1,45 @@
+"""Hardware specifications for the roofline latency model.
+
+The MICRO version of the paper pairs the quantizer with hardware support;
+this module provides the parametric machine models used to quantify the
+"low latency" part of the title: an edge-class NPU and a server-class
+accelerator, both described by compute throughput and DRAM bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HardwareSpec:
+    """A roofline machine: peak compute and off-chip bandwidth."""
+
+    name: str
+    flops_per_second: float
+    dram_bytes_per_second: float
+
+    def __post_init__(self) -> None:
+        if self.flops_per_second <= 0 or self.dram_bytes_per_second <= 0:
+            raise ValueError(f"{self.name}: rates must be positive")
+
+    @property
+    def ridge_intensity(self) -> float:
+        """FLOPs per byte at which compute and memory balance."""
+        return self.flops_per_second / self.dram_bytes_per_second
+
+
+# An edge NPU: modest compute, LPDDR-class bandwidth.  BERT inference here is
+# deeply memory-bound, which is where GOBO's traffic cut pays off most.
+EDGE_NPU = HardwareSpec(
+    name="edge-npu",
+    flops_per_second=4e12,          # 4 TFLOP/s
+    dram_bytes_per_second=30e9,     # 30 GB/s LPDDR4X
+)
+
+# A server accelerator: HBM-class bandwidth, far more compute.
+SERVER_ACCELERATOR = HardwareSpec(
+    name="server-accelerator",
+    flops_per_second=100e12,        # 100 TFLOP/s
+    dram_bytes_per_second=900e9,    # 900 GB/s HBM2
+)

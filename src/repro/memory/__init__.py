@@ -1,0 +1,17 @@
+"""Memory traffic and access-energy models (the paper's Section I motivation)."""
+
+from repro.memory.energy import (
+    EnergyModel,
+    EnergyReport,
+    compression_energy_report,
+)
+from repro.memory.traffic import TrafficReport, compressed_traffic, fp32_traffic
+
+__all__ = [
+    "EnergyModel",
+    "EnergyReport",
+    "TrafficReport",
+    "compressed_traffic",
+    "compression_energy_report",
+    "fp32_traffic",
+]

@@ -1,0 +1,69 @@
+"""Off-chip traffic accounting for one inference pass.
+
+Because BERT is dominated by FC layers over a short hidden-state vector
+(Section II), weights must be streamed from off-chip memory every inference
+while activations stay small.  This module converts a model configuration
+plus a compression scheme into per-inference byte traffic, feeding the
+energy model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.config import BertConfig
+from repro.models.footprint import BYTES_PER_FP32, fc_weight_count, memory_footprint
+
+
+@dataclass(frozen=True)
+class TrafficReport:
+    """Bytes moved per inference, by source."""
+
+    weight_bytes: int
+    embedding_bytes: int
+    activation_bytes: int
+
+    @property
+    def offchip_bytes(self) -> int:
+        """Weights and embeddings stream from DRAM."""
+        return self.weight_bytes + self.embedding_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.offchip_bytes + self.activation_bytes
+
+
+def fp32_traffic(config: BertConfig, sequence_length: int = 128) -> TrafficReport:
+    """Per-inference traffic of the uncompressed FP32 model."""
+    footprint = memory_footprint(config, sequence_length)
+    # Embedding tables are read per token (one row each from word/position/
+    # type tables), not streamed wholesale.
+    embedding_row_bytes = 3 * config.hidden_size * BYTES_PER_FP32
+    return TrafficReport(
+        weight_bytes=footprint.weight_bytes,
+        embedding_bytes=embedding_row_bytes * sequence_length,
+        activation_bytes=footprint.activation_bytes,
+    )
+
+
+def compressed_traffic(
+    config: BertConfig,
+    weight_bits: float,
+    embedding_bits: float,
+    sequence_length: int = 128,
+) -> TrafficReport:
+    """Per-inference traffic with weights/embeddings stored compressed.
+
+    ``weight_bits``/``embedding_bits`` are *effective* bits per value (e.g.
+    GOBO's 3-bit indexes plus outlier and table overhead come to ~3.1).
+    """
+    if weight_bits <= 0 or embedding_bits <= 0:
+        raise ValueError("effective bit widths must be positive")
+    base = fp32_traffic(config, sequence_length)
+    weight_bytes = int(fc_weight_count(config) * weight_bits / 8)
+    embedding_fraction = embedding_bits / 32.0  # row reads scale with this ratio
+    return TrafficReport(
+        weight_bytes=weight_bytes,
+        embedding_bytes=int(base.embedding_bytes * embedding_fraction),
+        activation_bytes=base.activation_bytes,
+    )

@@ -1,0 +1,129 @@
+"""Parameter census and memory-footprint accounting (Tables I and II).
+
+The paper's footprint numbers count:
+
+* *Embedding Tables*: the word-embedding table only (``vocab x hidden`` FP32),
+  which is what both BERT releases ship as "the" embedding matrix
+  (89.42 MB for BERT-Base = 30522 x 768 x 4 bytes).
+* *Weights*: all FC weight matrices (4 attention + intermediate + output per
+  layer, plus the pooler), excluding biases and LayerNorm parameters
+  (326.26 MB for BERT-Base).
+* *Activations*: the largest layer's activation per word (``intermediate x 4``
+  bytes) times the sequence length.
+
+These conventions are encoded here so the Table I/II benchmarks print the
+paper's exact rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.config import BertConfig
+
+BYTES_PER_FP32 = 4
+MIB = float(1 << 20)
+
+
+@dataclass(frozen=True)
+class FcLayerSpec:
+    """One FC layer in the census: its dotted role and weight shape."""
+
+    component: str
+    count_per_layer: int
+    rows: int
+    cols: int
+
+    @property
+    def params_per_layer(self) -> int:
+        return self.count_per_layer * self.rows * self.cols
+
+
+def architecture_table(config: BertConfig) -> list[FcLayerSpec]:
+    """Table I rows: FC layer inventory of one BERT layer plus the pooler."""
+    h, i = config.hidden_size, config.intermediate_size
+    return [
+        FcLayerSpec("Attention", 4, h, h),
+        FcLayerSpec("Intermediate", 1, h, i),
+        FcLayerSpec("Output", 1, i, h),
+        FcLayerSpec("Pooler", 1, h, h),
+    ]
+
+
+def fc_weight_count(config: BertConfig) -> int:
+    """Total FC weight parameters (matches the paper's 'Weights')."""
+    h, i = config.hidden_size, config.intermediate_size
+    per_layer = 4 * h * h + 2 * h * i
+    return config.num_layers * per_layer + h * h
+
+
+def embedding_table_count(config: BertConfig) -> int:
+    """Word-embedding table parameter count."""
+    return config.vocab_size * config.hidden_size
+
+
+def all_embedding_count(config: BertConfig) -> int:
+    """All embedding tables: word + position + token-type."""
+    return (
+        config.vocab_size + config.max_position + config.type_vocab_size
+    ) * config.hidden_size
+
+
+def total_parameter_count(config: BertConfig) -> int:
+    """Full parameter count incl. biases and LayerNorm (~110M for BERT-Base)."""
+    h, i = config.hidden_size, config.intermediate_size
+    per_layer = (
+        4 * (h * h + h)        # attention Q/K/V/O weight+bias
+        + (h * i + i)          # intermediate
+        + (i * h + h)          # output
+        + 2 * 2 * h            # two LayerNorms (weight+bias each)
+    )
+    embeddings = all_embedding_count(config) + 2 * h  # + embedding LayerNorm
+    pooler = h * h + h
+    return config.num_layers * per_layer + embeddings + pooler
+
+
+@dataclass(frozen=True)
+class MemoryFootprint:
+    """Table II row set for one model at a given sequence length."""
+
+    model: str
+    embedding_bytes: int
+    weight_bytes: int
+    input_bytes_per_word: int
+    largest_act_bytes_per_word: int
+    sequence_length: int
+    activation_bytes: int
+
+    @property
+    def embedding_mib(self) -> float:
+        return self.embedding_bytes / MIB
+
+    @property
+    def weight_mib(self) -> float:
+        return self.weight_bytes / MIB
+
+    @property
+    def activation_mib(self) -> float:
+        return self.activation_bytes / MIB
+
+    @property
+    def total_bytes(self) -> int:
+        return self.embedding_bytes + self.weight_bytes + self.activation_bytes
+
+
+def memory_footprint(config: BertConfig, sequence_length: int = 128) -> MemoryFootprint:
+    """Compute the Table II footprint for ``config``."""
+    if sequence_length <= 0:
+        raise ValueError(f"sequence_length must be positive, got {sequence_length}")
+    input_per_word = config.hidden_size * BYTES_PER_FP32
+    act_per_word = config.intermediate_size * BYTES_PER_FP32
+    return MemoryFootprint(
+        model=config.name,
+        embedding_bytes=embedding_table_count(config) * BYTES_PER_FP32,
+        weight_bytes=fc_weight_count(config) * BYTES_PER_FP32,
+        input_bytes_per_word=input_per_word,
+        largest_act_bytes_per_word=act_per_word,
+        sequence_length=sequence_length,
+        activation_bytes=act_per_word * sequence_length,
+    )

@@ -1,0 +1,97 @@
+"""Task heads: sequence classification (MNLI), regression (STS-B), span QA
+(SQuAD)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.bert import BertModel
+from repro.models.config import BertConfig
+from repro.nn.layers import Dropout, Linear
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+from repro.utils.rng import derive_rng
+
+
+class BertForSequenceClassification(Module):
+    """BERT + linear classifier over the pooled output (GLUE classification)."""
+
+    def __init__(
+        self,
+        config: BertConfig,
+        num_labels: int,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        self.config = config
+        self.num_labels = num_labels
+        self.bert = BertModel(config, rng=derive_rng(rng, "bert"))
+        self.dropout = Dropout(config.dropout_rate, rng=derive_rng(rng, "dropout"))
+        self.classifier = Linear(config.hidden_size, num_labels, rng=derive_rng(rng, "cls"))
+
+    def forward(
+        self,
+        input_ids: np.ndarray,
+        attention_mask: np.ndarray | None = None,
+        token_type_ids: np.ndarray | None = None,
+    ) -> Tensor:
+        _, pooled = self.bert(input_ids, attention_mask, token_type_ids)
+        return self.classifier(self.dropout(pooled))
+
+    def predict(self, input_ids, attention_mask=None, token_type_ids=None) -> np.ndarray:
+        """Argmax class predictions (inference mode)."""
+        logits = self(input_ids, attention_mask, token_type_ids)
+        return np.argmax(logits.data, axis=-1)
+
+
+class BertForRegression(Module):
+    """BERT + scalar regression head over the pooled output (STS-B)."""
+
+    def __init__(self, config: BertConfig, rng: int | np.random.Generator | None = None) -> None:
+        super().__init__()
+        self.config = config
+        self.bert = BertModel(config, rng=derive_rng(rng, "bert"))
+        self.dropout = Dropout(config.dropout_rate, rng=derive_rng(rng, "dropout"))
+        self.regressor = Linear(config.hidden_size, 1, rng=derive_rng(rng, "reg"))
+
+    def forward(
+        self,
+        input_ids: np.ndarray,
+        attention_mask: np.ndarray | None = None,
+        token_type_ids: np.ndarray | None = None,
+    ) -> Tensor:
+        _, pooled = self.bert(input_ids, attention_mask, token_type_ids)
+        return self.regressor(self.dropout(pooled)).reshape(-1)
+
+    def predict(self, input_ids, attention_mask=None, token_type_ids=None) -> np.ndarray:
+        """Predicted similarity scores."""
+        return self(input_ids, attention_mask, token_type_ids).data.copy()
+
+
+class BertForSpanPrediction(Module):
+    """BERT + start/end span logits over the sequence output (SQuAD)."""
+
+    def __init__(self, config: BertConfig, rng: int | np.random.Generator | None = None) -> None:
+        super().__init__()
+        self.config = config
+        self.bert = BertModel(config, rng=derive_rng(rng, "bert"))
+        self.span_head = Linear(config.hidden_size, 2, rng=derive_rng(rng, "span"))
+
+    def forward(
+        self,
+        input_ids: np.ndarray,
+        attention_mask: np.ndarray | None = None,
+        token_type_ids: np.ndarray | None = None,
+    ) -> tuple[Tensor, Tensor]:
+        sequence, _ = self.bert(input_ids, attention_mask, token_type_ids)
+        logits = self.span_head(sequence)
+        return logits[:, :, 0], logits[:, :, 1]
+
+    def predict(self, input_ids, attention_mask=None, token_type_ids=None) -> np.ndarray:
+        """Predicted (start, end) index pairs, shape (batch, 2)."""
+        start_logits, end_logits = self(input_ids, attention_mask, token_type_ids)
+        starts = np.argmax(start_logits.data, axis=-1)
+        ends = np.argmax(end_logits.data, axis=-1)
+        # A span must not end before it starts; fall back to the start token.
+        ends = np.maximum(starts, ends)
+        return np.stack([starts, ends], axis=1)

@@ -1,0 +1,87 @@
+"""Multi-head self-attention, matching the BERT layer layout (Figure 1a).
+
+The attention component contains exactly the four FC layers the paper's
+Table I counts: Query, Key, Value projections and the self-attention Output
+projection, each ``hidden x hidden``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConfigError, ShapeError
+from repro.nn import functional as F
+from repro.nn.layers import Dropout, Linear
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+from repro.utils.rng import derive_rng
+
+
+class MultiHeadSelfAttention(Module):
+    """Scaled dot-product self-attention with ``num_heads`` heads."""
+
+    def __init__(
+        self,
+        hidden_size: int,
+        num_heads: int,
+        dropout_rate: float = 0.0,
+        rng: int | np.random.Generator | None = None,
+        init_std: float = 0.02,
+    ) -> None:
+        super().__init__()
+        if hidden_size % num_heads != 0:
+            raise ConfigError(
+                f"hidden_size {hidden_size} is not divisible by num_heads {num_heads}"
+            )
+        self.hidden_size = hidden_size
+        self.num_heads = num_heads
+        self.head_dim = hidden_size // num_heads
+        self.query = Linear(hidden_size, hidden_size, rng=derive_rng(rng, "query"), init_std=init_std)
+        self.key = Linear(hidden_size, hidden_size, rng=derive_rng(rng, "key"), init_std=init_std)
+        self.value = Linear(hidden_size, hidden_size, rng=derive_rng(rng, "value"), init_std=init_std)
+        self.output = Linear(hidden_size, hidden_size, rng=derive_rng(rng, "output"), init_std=init_std)
+        self.dropout = Dropout(dropout_rate, rng=derive_rng(rng, "dropout"))
+
+    def _split_heads(self, x: Tensor) -> Tensor:
+        """(batch, seq, hidden) -> (batch, heads, seq, head_dim)."""
+        batch, seq, _ = x.shape
+        return x.reshape(batch, seq, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x: Tensor) -> Tensor:
+        """(batch, heads, seq, head_dim) -> (batch, seq, hidden)."""
+        batch, _, seq, _ = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(batch, seq, self.hidden_size)
+
+    def forward(self, hidden: Tensor, attention_mask: np.ndarray | None = None) -> Tensor:
+        """Apply self-attention.
+
+        Parameters
+        ----------
+        hidden:
+            ``(batch, seq, hidden)`` input states.
+        attention_mask:
+            Optional ``(batch, seq)`` array; positions with value 0 are
+            padding and receive no attention.
+        """
+        if hidden.ndim != 3 or hidden.shape[-1] != self.hidden_size:
+            raise ShapeError(f"expected (batch, seq, {self.hidden_size}), got {hidden.shape}")
+        q = self._split_heads(self.query(hidden))
+        k = self._split_heads(self.key(hidden))
+        v = self._split_heads(self.value(hidden))
+
+        scores = q.matmul(k.swapaxes(-1, -2)) * (1.0 / math.sqrt(self.head_dim))
+        if attention_mask is not None:
+            mask = np.asarray(attention_mask)
+            if mask.shape != hidden.shape[:2]:
+                raise ShapeError(
+                    f"attention_mask shape {mask.shape} does not match batch/seq "
+                    f"{hidden.shape[:2]}"
+                )
+            blocked = (mask == 0)[:, None, None, :]
+            scores = F.masked_fill(scores, np.broadcast_to(blocked, scores.shape), -1e9)
+        probs = F.softmax(scores, axis=-1)
+        probs = self.dropout(probs)
+        context = self._merge_heads(probs.matmul(v))
+        return self.output(context)

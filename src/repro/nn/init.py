@@ -1,0 +1,48 @@
+"""Weight initializers.
+
+BERT initializes weights from a truncated normal with std 0.02; the same
+scheme is used here so that tiny trained models and synthetic full-scale
+weight sets share the distribution shape the paper observes (Figure 1b).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+
+def truncated_normal(
+    shape: tuple[int, ...],
+    std: float = 0.02,
+    mean: float = 0.0,
+    rng: int | np.random.Generator | None = None,
+    truncation: float = 2.0,
+) -> np.ndarray:
+    """Normal samples re-drawn until they fall within ``truncation`` sigmas."""
+    gen = ensure_rng(rng)
+    samples = gen.normal(mean, std, size=shape)
+    limit = truncation * std
+    out_of_range = np.abs(samples - mean) > limit
+    while out_of_range.any():
+        samples[out_of_range] = gen.normal(mean, std, size=int(out_of_range.sum()))
+        out_of_range = np.abs(samples - mean) > limit
+    return samples
+
+
+def normal(
+    shape: tuple[int, ...],
+    std: float = 0.02,
+    mean: float = 0.0,
+    rng: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Plain normal initialization."""
+    return ensure_rng(rng).normal(mean, std, size=shape)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones(shape: tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape, dtype=np.float64)

@@ -1,0 +1,39 @@
+"""Baseline quantizers: Q8BERT-like, Q-BERT-like, and the common interface."""
+
+from repro.quant.base import CompressedModel, CompressedTensor, ModelQuantizer
+from repro.quant.gobo_adapter import GoboModelQuantizer
+from repro.quant.q8bert import (
+    Q8BertQuantizer,
+    disable_activation_quantization,
+    enable_activation_quantization,
+    fake_quantize_model,
+    symmetric_dequantize,
+    symmetric_quantize,
+)
+from repro.quant.pruning import (
+    magnitude_prune,
+    prune_then_quantize,
+    pruned_storage,
+)
+from repro.quant.qbert import QBertQuantizer, quantize_groupwise
+from repro.quant.registry import TABLE3_SPECS, build_quantizer
+
+__all__ = [
+    "CompressedModel",
+    "CompressedTensor",
+    "GoboModelQuantizer",
+    "ModelQuantizer",
+    "Q8BertQuantizer",
+    "QBertQuantizer",
+    "TABLE3_SPECS",
+    "build_quantizer",
+    "disable_activation_quantization",
+    "enable_activation_quantization",
+    "fake_quantize_model",
+    "magnitude_prune",
+    "prune_then_quantize",
+    "pruned_storage",
+    "quantize_groupwise",
+    "symmetric_dequantize",
+    "symmetric_quantize",
+]

@@ -1,0 +1,54 @@
+"""Adapter exposing GOBO through the baseline :class:`ModelQuantizer` interface."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.model_quantizer import quantize_state_dict
+from repro.core.outliers import DEFAULT_LOG_PROB_THRESHOLD
+from repro.core.policy import LayerPolicy
+from repro.quant.base import CompressedModel, CompressedTensor
+
+
+class GoboModelQuantizer:
+    """GOBO (or its centroid-policy ablations) behind the common interface."""
+
+    requires_finetuning = False
+
+    def __init__(
+        self,
+        weight_bits: int | LayerPolicy = 3,
+        embedding_bits: int | None = 4,
+        method: str = "gobo",
+        log_prob_threshold: float = DEFAULT_LOG_PROB_THRESHOLD,
+    ) -> None:
+        self.weight_bits = weight_bits
+        self.embedding_bits = embedding_bits
+        self.method = method
+        self.log_prob_threshold = log_prob_threshold
+        suffix = "" if method == "gobo" else f"-{method}"
+        self.name = f"gobo{suffix}"
+
+    def compress(
+        self,
+        state: dict[str, np.ndarray],
+        fc_names: tuple[str, ...],
+        embedding_names: tuple[str, ...],
+    ) -> CompressedModel:
+        quantized = quantize_state_dict(
+            state,
+            fc_names=fc_names,
+            embedding_names=embedding_names,
+            weight_bits=self.weight_bits,
+            embedding_bits=self.embedding_bits,
+            method=self.method,
+            log_prob_threshold=self.log_prob_threshold,
+        )
+        tensors = {
+            name: CompressedTensor(
+                reconstructed=tensor.dequantize(),
+                compressed_bytes=tensor.storage().compressed_bytes,
+            )
+            for name, tensor in quantized.quantized.items()
+        }
+        return CompressedModel(method=self.name, tensors=tensors, fp32=dict(quantized.fp32))

@@ -1,0 +1,44 @@
+"""Registry of the quantization methods the Table III comparison covers."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.quant.gobo_adapter import GoboModelQuantizer
+from repro.quant.q8bert import Q8BertQuantizer
+from repro.quant.qbert import QBertQuantizer
+
+
+def build_quantizer(spec: str):
+    """Build a model quantizer from a short spec string.
+
+    Specs mirror the paper's Table III rows::
+
+        q8bert            8-bit fixed point, 8-bit embeddings
+        qbert-3bit        Q-BERT-like, 3-bit weights, 8-bit embeddings
+        qbert-4bit        Q-BERT-like, 4-bit weights, 8-bit embeddings
+        gobo-3bit         GOBO, 3-bit weights, 4-bit embeddings
+        gobo-4bit         GOBO, 4-bit weights, 4-bit embeddings
+    """
+    if spec == "q8bert":
+        return Q8BertQuantizer()
+    if spec.startswith("qbert-") and spec.endswith("bit"):
+        bits = _parse_bits(spec, "qbert-")
+        return QBertQuantizer(weight_bits=bits)
+    if spec.startswith("gobo-") and spec.endswith("bit"):
+        bits = _parse_bits(spec, "gobo-")
+        return GoboModelQuantizer(weight_bits=bits, embedding_bits=4)
+    raise ConfigError(f"unknown quantizer spec {spec!r}")
+
+
+def _parse_bits(spec: str, prefix: str) -> int:
+    digits = spec[len(prefix) : -len("bit")]
+    try:
+        bits = int(digits)
+    except ValueError:
+        raise ConfigError(f"cannot parse bits from {spec!r}") from None
+    if not 1 <= bits <= 8:
+        raise ConfigError(f"bits must be in [1, 8], got {bits} in {spec!r}")
+    return bits
+
+
+TABLE3_SPECS = ("q8bert", "qbert-3bit", "qbert-4bit", "gobo-3bit", "gobo-4bit")

@@ -1,0 +1,79 @@
+"""Single-component Gaussian fitting, replacing ``sklearn.GaussianMixture``.
+
+The paper fits ``scikit-learn.GaussianMixture`` with **one** component to each
+layer's weights and then calls ``score_samples`` to get per-weight
+log-probabilities.  A one-component GMM fit is exactly the maximum-likelihood
+Gaussian fit (sample mean, sample variance), so :class:`GaussianFit` computes
+it in closed form with identical numerics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+_LOG_2PI = math.log(2.0 * math.pi)
+
+
+@dataclass(frozen=True)
+class GaussianFit:
+    """A fitted 1-D Gaussian ``N(mean, std^2)``.
+
+    Attributes
+    ----------
+    mean:
+        Sample mean of the fitted data.
+    std:
+        Sample standard deviation (maximum-likelihood, i.e. ``ddof=0``,
+        matching ``GaussianMixture``'s variance estimate).
+    """
+
+    mean: float
+    std: float
+
+    @classmethod
+    def fit(cls, values: np.ndarray) -> "GaussianFit":
+        """Fit the maximum-likelihood Gaussian to ``values`` (any shape)."""
+        flat = np.asarray(values, dtype=np.float64).ravel()
+        if flat.size == 0:
+            raise ShapeError("cannot fit a Gaussian to an empty array")
+        if not np.all(np.isfinite(flat)):
+            raise ValueError("values contain NaN or infinity")
+        mean = float(flat.mean())
+        std = float(flat.std())
+        return cls(mean=mean, std=std)
+
+    def log_pdf(self, values: np.ndarray) -> np.ndarray:
+        """Log probability density of ``values`` under the fitted Gaussian.
+
+        Mirrors ``GaussianMixture.score_samples`` for a single component
+        (the mixture weight is 1, so the mixture log-likelihood is the
+        component log-pdf).  A degenerate fit (``std == 0``) assigns
+        ``+inf`` at the mean and ``-inf`` elsewhere.
+        """
+        x = np.asarray(values, dtype=np.float64)
+        if self.std == 0.0:
+            return np.where(x == self.mean, np.inf, -np.inf)
+        z = (x - self.mean) / self.std
+        return -0.5 * (z * z + _LOG_2PI) - math.log(self.std)
+
+    def score_samples(self, values: np.ndarray) -> np.ndarray:
+        """Alias for :meth:`log_pdf`, matching the scikit-learn name."""
+        return self.log_pdf(values)
+
+    def pdf(self, values: np.ndarray) -> np.ndarray:
+        """Probability density of ``values`` (Eq. 1 of the paper)."""
+        return np.exp(self.log_pdf(values))
+
+    def interval(self, coverage: float) -> tuple[float, float]:
+        """Symmetric interval around the mean containing ``coverage`` mass."""
+        if not 0.0 < coverage < 1.0:
+            raise ValueError(f"coverage must be in (0, 1), got {coverage}")
+        from scipy.stats import norm
+
+        half = float(norm.ppf(0.5 + coverage / 2.0))
+        return (self.mean - half * self.std, self.mean + half * self.std)

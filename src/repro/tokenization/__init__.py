@@ -1,0 +1,16 @@
+"""Tokenization for the synthetic evaluation languages."""
+
+from repro.tokenization.tokenizer import Encoding, Tokenizer
+from repro.tokenization.vocab import CLS, MASK, PAD, SEP, SPECIAL_TOKENS, UNK, Vocabulary
+
+__all__ = [
+    "CLS",
+    "Encoding",
+    "MASK",
+    "PAD",
+    "SEP",
+    "SPECIAL_TOKENS",
+    "Tokenizer",
+    "UNK",
+    "Vocabulary",
+]

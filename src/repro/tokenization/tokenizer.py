@@ -1,0 +1,94 @@
+"""Deterministic word-level tokenizer for the synthetic languages.
+
+The synthetic tasks generate text over a closed vocabulary, so a whitespace
+word tokenizer plays the role WordPiece plays for real BERT: it produces the
+``[CLS] a ... [SEP] b ... [SEP]`` id sequences, attention masks and segment
+ids the models consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tokenization.vocab import Vocabulary
+
+
+@dataclass(frozen=True)
+class Encoding:
+    """One encoded (pair of) sentence(s), fixed length."""
+
+    input_ids: np.ndarray
+    attention_mask: np.ndarray
+    token_type_ids: np.ndarray
+
+
+class Tokenizer:
+    """Whitespace tokenizer over a fixed :class:`Vocabulary`."""
+
+    def __init__(self, vocab: Vocabulary) -> None:
+        self.vocab = vocab
+
+    def tokenize(self, text: str) -> list[str]:
+        return text.split()
+
+    def encode(
+        self,
+        text_a: str,
+        text_b: str | None = None,
+        max_length: int = 64,
+    ) -> Encoding:
+        """Encode a sentence or sentence pair to fixed-length arrays.
+
+        Layout matches BERT: ``[CLS] A [SEP]`` or ``[CLS] A [SEP] B [SEP]``,
+        padded with ``[PAD]``; segment ids are 0 for A (incl. both leading
+        specials) and 1 for B and its trailing ``[SEP]``.
+        """
+        if max_length < 4:
+            raise ValueError(f"max_length must be >= 4, got {max_length}")
+        tokens_a = self.tokenize(text_a)
+        tokens_b = self.tokenize(text_b) if text_b is not None else []
+        # Truncate the longer sequence first until the pair fits.
+        budget = max_length - (3 if tokens_b else 2)
+        while len(tokens_a) + len(tokens_b) > budget:
+            if len(tokens_a) >= len(tokens_b):
+                tokens_a = tokens_a[:-1]
+            else:
+                tokens_b = tokens_b[:-1]
+
+        ids = [self.vocab.cls_id]
+        segments = [0]
+        ids.extend(self.vocab.id_of(t) for t in tokens_a)
+        segments.extend([0] * len(tokens_a))
+        ids.append(self.vocab.sep_id)
+        segments.append(0)
+        if tokens_b:
+            ids.extend(self.vocab.id_of(t) for t in tokens_b)
+            segments.extend([1] * len(tokens_b))
+            ids.append(self.vocab.sep_id)
+            segments.append(1)
+
+        mask = [1] * len(ids)
+        padding = max_length - len(ids)
+        ids.extend([self.vocab.pad_id] * padding)
+        segments.extend([0] * padding)
+        mask.extend([0] * padding)
+        return Encoding(
+            input_ids=np.array(ids, dtype=np.int64),
+            attention_mask=np.array(mask, dtype=np.int64),
+            token_type_ids=np.array(segments, dtype=np.int64),
+        )
+
+    def encode_batch(
+        self,
+        pairs: list[tuple[str, str | None]],
+        max_length: int = 64,
+    ) -> Encoding:
+        """Encode many examples into stacked arrays."""
+        encodings = [self.encode(a, b, max_length) for a, b in pairs]
+        return Encoding(
+            input_ids=np.stack([e.input_ids for e in encodings]),
+            attention_mask=np.stack([e.attention_mask for e in encodings]),
+            token_type_ids=np.stack([e.token_type_ids for e in encodings]),
+        )

@@ -1,0 +1,56 @@
+"""Vocabulary with the special tokens the BERT input pipeline expects."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+PAD, UNK, CLS, SEP, MASK = "[PAD]", "[UNK]", "[CLS]", "[SEP]", "[MASK]"
+SPECIAL_TOKENS = (PAD, UNK, CLS, SEP, MASK)
+
+
+class Vocabulary:
+    """A frozen token-to-id mapping; id 0 is always [PAD]."""
+
+    def __init__(self, tokens: Iterable[str]) -> None:
+        self._id_to_token: list[str] = list(SPECIAL_TOKENS)
+        seen = set(self._id_to_token)
+        for token in tokens:
+            if token not in seen:
+                seen.add(token)
+                self._id_to_token.append(token)
+        self._token_to_id = {tok: i for i, tok in enumerate(self._id_to_token)}
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    @property
+    def pad_id(self) -> int:
+        return self._token_to_id[PAD]
+
+    @property
+    def unk_id(self) -> int:
+        return self._token_to_id[UNK]
+
+    @property
+    def cls_id(self) -> int:
+        return self._token_to_id[CLS]
+
+    @property
+    def sep_id(self) -> int:
+        return self._token_to_id[SEP]
+
+    def id_of(self, token: str) -> int:
+        """Token id, falling back to [UNK] for unknown tokens."""
+        return self._token_to_id.get(token, self.unk_id)
+
+    def token_of(self, token_id: int) -> str:
+        if not 0 <= token_id < len(self._id_to_token):
+            raise IndexError(f"token id {token_id} out of range [0, {len(self)})")
+        return self._id_to_token[token_id]
+
+    def tokens(self) -> list[str]:
+        """All tokens in id order."""
+        return list(self._id_to_token)

@@ -1,0 +1,23 @@
+"""Fine-tuning: optimizers, schedules, losses, trainer, distillation."""
+
+from repro.training.distill import DistillationTrainer, soft_cross_entropy
+from repro.training.losses import cross_entropy, mse, span_loss
+from repro.training.optim import SGD, Adam, Optimizer
+from repro.training.schedule import ConstantSchedule, LinearWarmupSchedule
+from repro.training.trainer import Trainer, TrainingLog, evaluate
+
+__all__ = [
+    "Adam",
+    "ConstantSchedule",
+    "DistillationTrainer",
+    "LinearWarmupSchedule",
+    "Optimizer",
+    "SGD",
+    "Trainer",
+    "TrainingLog",
+    "cross_entropy",
+    "evaluate",
+    "mse",
+    "soft_cross_entropy",
+    "span_loss",
+]

@@ -1,0 +1,42 @@
+"""Loss functions for the three task heads."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean negative log-likelihood of integer ``labels`` under ``logits``."""
+    labels = np.asarray(labels)
+    if logits.ndim != 2:
+        raise ShapeError(f"logits must be (batch, classes), got {logits.shape}")
+    if labels.shape != (logits.shape[0],):
+        raise ShapeError(f"labels must be ({logits.shape[0]},), got {labels.shape}")
+    if labels.size and (labels.min() < 0 or labels.max() >= logits.shape[1]):
+        raise ValueError("labels out of range for the number of classes")
+    log_probs = F.log_softmax(logits, axis=-1)
+    picked = log_probs[np.arange(labels.shape[0]), labels]
+    return -picked.mean()
+
+
+def mse(predictions: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean squared error for the regression head."""
+    targets = np.asarray(targets, dtype=np.float64)
+    if predictions.shape != targets.shape:
+        raise ShapeError(f"shape mismatch: {predictions.shape} vs {targets.shape}")
+    diff = predictions - Tensor(targets)
+    return (diff * diff).mean()
+
+
+def span_loss(start_logits: Tensor, end_logits: Tensor, spans: np.ndarray) -> Tensor:
+    """SQuAD loss: mean of the start and end cross-entropies."""
+    spans = np.asarray(spans)
+    if spans.ndim != 2 or spans.shape[1] != 2:
+        raise ShapeError(f"spans must be (batch, 2), got {spans.shape}")
+    start = cross_entropy(start_logits, spans[:, 0])
+    end = cross_entropy(end_logits, spans[:, 1])
+    return (start + end) * 0.5

@@ -1,0 +1,45 @@
+"""Learning-rate schedules (BERT fine-tuning uses linear warmup + decay)."""
+
+from __future__ import annotations
+
+
+class ConstantSchedule:
+    """The trivial schedule: always ``lr``."""
+
+    def __init__(self, lr: float) -> None:
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        self.lr = lr
+
+    def lr_at(self, step: int) -> float:
+        return self.lr
+
+
+class LinearWarmupSchedule:
+    """Linear warmup to ``peak_lr`` then linear decay to zero.
+
+    The schedule BERT's fine-tuning recipe uses.
+    """
+
+    def __init__(self, peak_lr: float, warmup_steps: int, total_steps: int) -> None:
+        if peak_lr <= 0:
+            raise ValueError(f"peak_lr must be positive, got {peak_lr}")
+        if not 0 <= warmup_steps <= total_steps:
+            raise ValueError(
+                f"need 0 <= warmup_steps <= total_steps, got {warmup_steps}, {total_steps}"
+            )
+        if total_steps <= 0:
+            raise ValueError(f"total_steps must be positive, got {total_steps}")
+        self.peak_lr = peak_lr
+        self.warmup_steps = warmup_steps
+        self.total_steps = total_steps
+
+    def lr_at(self, step: int) -> float:
+        step = max(0, min(step, self.total_steps))
+        if self.warmup_steps and step < self.warmup_steps:
+            return self.peak_lr * step / self.warmup_steps
+        remaining = self.total_steps - self.warmup_steps
+        if remaining == 0:
+            return self.peak_lr
+        progress = (step - self.warmup_steps) / remaining
+        return self.peak_lr * (1.0 - progress)

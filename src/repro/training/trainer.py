@@ -1,0 +1,128 @@
+"""Fine-tuning loop for the tiny evaluation models.
+
+Replicates the paper's "pre-training and fine-tuning" usage at laptop scale:
+a model is fine-tuned on a synthetic task with Adam, then handed — frozen —
+to the quantizers.  The trainer handles all three task types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.batching import iterate_batches
+from repro.data.metrics import metric_for_task
+from repro.data.task import TaskData
+from repro.nn.module import Module
+from repro.training.losses import cross_entropy, mse, span_loss
+from repro.training.optim import Adam, Optimizer
+from repro.training.schedule import ConstantSchedule, LinearWarmupSchedule
+from repro.utils.rng import derive_rng, ensure_rng
+
+
+@dataclass
+class TrainingLog:
+    """Per-epoch record of a fine-tuning run."""
+
+    losses: list[float] = field(default_factory=list)
+    eval_scores: list[float] = field(default_factory=list)
+
+
+def _batch_loss(model: Module, batch: TaskData):
+    encodings = batch.encodings
+    if batch.task_type == "classification":
+        logits = model(encodings.input_ids, encodings.attention_mask, encodings.token_type_ids)
+        return cross_entropy(logits, batch.labels)
+    if batch.task_type == "regression":
+        predictions = model(
+            encodings.input_ids, encodings.attention_mask, encodings.token_type_ids
+        )
+        return mse(predictions, batch.labels)
+    if batch.task_type == "span":
+        start_logits, end_logits = model(
+            encodings.input_ids, encodings.attention_mask, encodings.token_type_ids
+        )
+        return span_loss(start_logits, end_logits, batch.labels)
+    raise ValueError(f"unknown task_type {batch.task_type!r}")
+
+
+def evaluate(model: Module, data: TaskData, batch_size: int = 64) -> float:
+    """Task metric of ``model`` on ``data`` (accuracy / Spearman / span F1)."""
+    model.eval()
+    metric = metric_for_task(data.task_type)
+    predictions = []
+    for batch in iterate_batches(data, batch_size):
+        encodings = batch.encodings
+        predictions.append(
+            model.predict(encodings.input_ids, encodings.attention_mask, encodings.token_type_ids)
+        )
+    stacked = np.concatenate(predictions, axis=0)
+    return metric(stacked, data.labels)
+
+
+class Trainer:
+    """Mini-batch fine-tuning with gradient clipping and LR scheduling."""
+
+    def __init__(
+        self,
+        model: Module,
+        lr: float = 3e-3,
+        batch_size: int = 32,
+        max_grad_norm: float = 1.0,
+        weight_decay: float = 0.0,
+        warmup_fraction: float = 0.1,
+        rng: int | np.random.Generator | None = 0,
+    ) -> None:
+        self.model = model
+        self.batch_size = batch_size
+        self.max_grad_norm = max_grad_norm
+        self.warmup_fraction = warmup_fraction
+        self.base_lr = lr
+        self.optimizer: Optimizer = Adam(model.parameters(), lr=lr, weight_decay=weight_decay)
+        self._rng = ensure_rng(rng)
+
+    def fit(
+        self,
+        train: TaskData,
+        eval_data: TaskData | None = None,
+        epochs: int = 3,
+        log: TrainingLog | None = None,
+    ) -> TrainingLog:
+        """Fine-tune for ``epochs`` and return the training log."""
+        if epochs <= 0:
+            raise ValueError(f"epochs must be positive, got {epochs}")
+        log = log or TrainingLog()
+        steps_per_epoch = max(1, (len(train) + self.batch_size - 1) // self.batch_size)
+        total_steps = steps_per_epoch * epochs
+        if self.warmup_fraction > 0:
+            schedule = LinearWarmupSchedule(
+                peak_lr=self.base_lr,
+                warmup_steps=int(self.warmup_fraction * total_steps),
+                total_steps=total_steps,
+            )
+        else:
+            schedule = ConstantSchedule(self.base_lr)
+        step = 0
+        for epoch in range(epochs):
+            self.model.train()
+            epoch_rng = derive_rng(self._rng, "epoch", epoch)
+            epoch_loss = 0.0
+            batches = 0
+            for batch in iterate_batches(
+                train, self.batch_size, shuffle=True, rng=epoch_rng
+            ):
+                step += 1
+                self.optimizer.lr = schedule.lr_at(step)
+                self.optimizer.zero_grad()
+                loss = _batch_loss(self.model, batch)
+                loss.backward()
+                self.optimizer.clip_grad_norm(self.max_grad_norm)
+                self.optimizer.step()
+                epoch_loss += loss.item()
+                batches += 1
+            log.losses.append(epoch_loss / max(1, batches))
+            if eval_data is not None:
+                log.eval_scores.append(evaluate(self.model, eval_data))
+        self.model.eval()
+        return log

@@ -1,0 +1,53 @@
+"""Dense bit-packing of small unsigned integers.
+
+GOBO stores each "G"-group weight as a ``bits``-wide index (2..8 bits).  The
+paper's compression ratios assume these indexes are stored densely, so the
+storage format packs them back to back into a byte stream with no padding
+between values (only the final byte may carry unused trailing bits).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def packed_nbytes(count: int, bits: int) -> int:
+    """Number of bytes needed to store ``count`` values of ``bits`` width."""
+    _check_bits(bits)
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    return (count * bits + 7) // 8
+
+
+def pack_bits(values: np.ndarray, bits: int) -> bytes:
+    """Pack an array of unsigned integers into a dense little-endian bitstream.
+
+    Values must fit in ``bits`` bits.  The inverse is :func:`unpack_bits`.
+    """
+    _check_bits(bits)
+    flat = np.ascontiguousarray(values, dtype=np.uint64).ravel()
+    if flat.size and int(flat.max()) >= (1 << bits):
+        raise ValueError(f"value {int(flat.max())} does not fit in {bits} bits")
+    # Expand each value into its bits (LSB first), then let numpy pack them.
+    bit_matrix = (flat[:, None] >> np.arange(bits, dtype=np.uint64)) & np.uint64(1)
+    return np.packbits(bit_matrix.astype(np.uint8).ravel(), bitorder="little").tobytes()
+
+
+def unpack_bits(data: bytes, bits: int, count: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`: recover ``count`` values from ``data``."""
+    _check_bits(bits)
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    needed = packed_nbytes(count, bits)
+    if len(data) < needed:
+        raise ValueError(f"need {needed} bytes for {count} x {bits}-bit values, got {len(data)}")
+    raw = np.frombuffer(data, dtype=np.uint8, count=needed)
+    bit_stream = np.unpackbits(raw, bitorder="little")[: count * bits]
+    bit_matrix = bit_stream.reshape(count, bits).astype(np.uint64)
+    weights = np.uint64(1) << np.arange(bits, dtype=np.uint64)
+    return (bit_matrix * weights).sum(axis=1).astype(np.int64)
+
+
+def _check_bits(bits: int) -> None:
+    if not 1 <= bits <= 16:
+        raise ValueError(f"bits must be in [1, 16], got {bits}")

@@ -1,0 +1,51 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints the same rows the paper's tables report; this
+module renders them as aligned ASCII/markdown-style tables.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_cell(value: object, float_fmt: str = "{:.2f}") -> str:
+    """Render a table cell: floats via ``float_fmt``, ``None`` as ``-``."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return float_fmt.format(value)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned text table."""
+    rendered = [[format_cell(cell, float_fmt) for cell in row] for row in rows]
+    for i, row in enumerate(rendered):
+        if len(row) != len(headers):
+            raise ValueError(f"row {i} has {len(row)} cells, expected {len(headers)}")
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for col, cell in enumerate(row):
+            widths[col] = max(widths[col], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append("-+-".join("-" * width for width in widths))
+    parts.extend(line(row) for row in rendered)
+    return "\n".join(parts)
+
+
+def percentage(value: float, digits: int = 2) -> str:
+    """Format a fraction in [0, 1] as a percentage string, e.g. ``0.69%``."""
+    return f"{value * 100:.{digits}f}%"

@@ -1,0 +1,68 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.config import BertConfig
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+# A micro config: big enough to exercise every code path, small enough that
+# forward/backward passes take milliseconds.
+MICRO_CONFIG = BertConfig(
+    name="micro",
+    vocab_size=96,
+    hidden_size=16,
+    num_layers=2,
+    num_heads=2,
+    intermediate_size=32,
+    max_position=32,
+    dropout_rate=0.0,
+    initializer_std=0.06,
+)
+
+
+@pytest.fixture
+def micro_config() -> BertConfig:
+    return MICRO_CONFIG
+
+
+def numeric_gradient(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn`` w.r.t. array ``x``."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        high = fn(x)
+        flat[i] = original - eps
+        low = fn(x)
+        flat[i] = original
+        grad_flat[i] = (high - low) / (2 * eps)
+    return grad
+
+
+def assert_autograd_matches(build_scalar, x: np.ndarray, atol: float = 1e-6):
+    """Check a Tensor-graph gradient against the numeric gradient.
+
+    ``build_scalar(tensor)`` must return a scalar Tensor built from ``tensor``.
+    """
+    tensor = Tensor(x.copy(), requires_grad=True)
+    out = build_scalar(tensor)
+    out.backward()
+    analytic = tensor.grad.copy()
+
+    def evaluate(values: np.ndarray) -> float:
+        probe = Tensor(values.copy(), requires_grad=False)
+        return float(build_scalar(probe).data.reshape(()))
+
+    numeric = numeric_gradient(evaluate, x.copy())
+    np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=1e-4)

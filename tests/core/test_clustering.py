@@ -1,0 +1,126 @@
+"""Tests for GOBO's L1 iteration vs the K-Means baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clustering import gobo_cluster, kmeans_cluster
+from repro.errors import QuantizationError
+
+
+@pytest.fixture(scope="module")
+def gaussian_values():
+    return np.random.default_rng(0).normal(0, 0.04, size=50000)
+
+
+class TestGoboCluster:
+    def test_converges_quickly(self, gaussian_values):
+        """The paper: ~7 iterations suffice for 3-bit quantization."""
+        result = gobo_cluster(gaussian_values, 3)
+        assert result.converged
+        assert result.iterations <= 12
+
+    def test_l1_never_below_final(self, gaussian_values):
+        result = gobo_cluster(gaussian_values, 3)
+        assert result.l1_norm() == min(result.trace.l1_norms)
+
+    def test_l1_improves_over_init(self, gaussian_values):
+        result = gobo_cluster(gaussian_values, 3)
+        assert result.l1_norm() < result.trace.l1_norms[0]
+
+    def test_centroids_sorted(self, gaussian_values):
+        result = gobo_cluster(gaussian_values, 3)
+        assert np.all(np.diff(result.centroids) >= 0)
+
+    def test_assignment_valid(self, gaussian_values):
+        result = gobo_cluster(gaussian_values, 2)
+        assert result.assignment.min() >= 0
+        assert result.assignment.max() < 4
+        assert result.assignment.size == gaussian_values.size
+
+    def test_respects_initial_centroids(self, gaussian_values):
+        init = np.array([-0.1, -0.01, 0.01, 0.1])
+        result = gobo_cluster(gaussian_values, 2, initial_centroids=init)
+        assert result.iterations >= 1
+
+    def test_wrong_initial_centroid_count_rejected(self, gaussian_values):
+        with pytest.raises(QuantizationError):
+            gobo_cluster(gaussian_values, 3, initial_centroids=np.zeros(4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(QuantizationError):
+            gobo_cluster(np.array([]), 3)
+
+    def test_invalid_bits_rejected(self, gaussian_values):
+        with pytest.raises(QuantizationError):
+            gobo_cluster(gaussian_values, 0)
+        with pytest.raises(QuantizationError):
+            gobo_cluster(gaussian_values, 9)
+
+    def test_constant_input(self):
+        result = gobo_cluster(np.full(100, 1.5), 2)
+        assert result.l1_norm() == pytest.approx(0.0)
+
+    def test_fewer_values_than_clusters(self):
+        result = gobo_cluster(np.array([1.0, 2.0, 3.0]), 3)
+        assert result.l1_norm() == pytest.approx(0.0)
+
+
+class TestKmeansCluster:
+    def test_runs_to_assignment_fixpoint(self, gaussian_values):
+        result = kmeans_cluster(gaussian_values, 3)
+        assert result.converged
+
+    def test_l2_nonincreasing(self, gaussian_values):
+        result = kmeans_cluster(gaussian_values, 3)
+        l2 = result.trace.l2_norms
+        assert all(b <= a + 1e-9 for a, b in zip(l2, l2[1:]))
+
+
+class TestPaperClaims:
+    """The comparative claims of Section IV-B and Figure 2."""
+
+    def test_gobo_converges_much_faster(self, gaussian_values):
+        gobo = gobo_cluster(gaussian_values, 3)
+        kmeans = kmeans_cluster(gaussian_values, 3)
+        assert kmeans.iterations >= 4 * gobo.iterations
+
+    def test_gobo_final_l1_not_worse(self, gaussian_values):
+        gobo = gobo_cluster(gaussian_values, 3)
+        kmeans = kmeans_cluster(gaussian_values, 3)
+        assert gobo.l1_norm() <= kmeans.l1_norm() + 1e-9
+
+    def test_same_init_same_first_iteration(self, gaussian_values):
+        gobo = gobo_cluster(gaussian_values, 3)
+        kmeans = kmeans_cluster(gaussian_values, 3)
+        assert gobo.trace.l1_norms[0] == pytest.approx(kmeans.trace.l1_norms[0])
+
+    @pytest.mark.parametrize("bits", [2, 3, 4])
+    def test_more_bits_lower_l1(self, gaussian_values, bits):
+        coarse = gobo_cluster(gaussian_values, bits).l1_norm()
+        fine = gobo_cluster(gaussian_values, bits + 1).l1_norm()
+        assert fine < coarse
+
+    @given(st.integers(min_value=0, max_value=10000))
+    @settings(max_examples=20, deadline=None)
+    def test_gobo_trajectory_is_kmeans_prefix(self, seed):
+        """Same init + same updates: GOBO walks K-Means' trajectory and
+        returns the minimum-L1 point of the prefix it visited."""
+        values = np.random.default_rng(seed).normal(size=2000)
+        gobo = gobo_cluster(values, 3)
+        kmeans = kmeans_cluster(values, 3)
+        overlap = min(gobo.trace.iterations, kmeans.trace.iterations)
+        np.testing.assert_allclose(
+            gobo.trace.l1_norms[:overlap], kmeans.trace.l1_norms[:overlap]
+        )
+        assert gobo.l1_norm() == pytest.approx(min(gobo.trace.l1_norms))
+
+
+class TestTrace:
+    def test_as_series(self, gaussian_values):
+        result = gobo_cluster(gaussian_values, 2)
+        series = result.trace.as_series()
+        assert len(series) == result.trace.iterations
+        iteration, l1, l2 = series[0]
+        assert iteration == 0 and l1 > 0 and l2 > 0

@@ -1,0 +1,69 @@
+"""Tests for the index-stream entropy analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.binning import assign_to_centroids, linear_centroids
+from repro.core.clustering import gobo_cluster
+from repro.core.entropy import code_entropy
+
+
+class TestCodeEntropy:
+    def test_uniform_stream_is_max_entropy(self):
+        assignment = np.repeat(np.arange(8), 100)
+        report = code_entropy(assignment, bits=3)
+        assert report.entropy_bits == pytest.approx(3.0)
+        assert report.huffman_headroom_bits == pytest.approx(0.0)
+        assert report.uniformity == pytest.approx(1.0)
+
+    def test_constant_stream_is_zero_entropy(self):
+        report = code_entropy(np.zeros(100, dtype=int), bits=3)
+        assert report.entropy_bits == 0.0
+        assert report.huffman_headroom_bits == pytest.approx(3.0)
+
+    def test_counts_and_usage(self):
+        report = code_entropy(np.array([0, 0, 1, 3]), bits=2)
+        assert report.counts.tolist() == [2, 1, 0, 1]
+        assert report.usage.sum() == pytest.approx(1.0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            code_entropy(np.array([8]), bits=3)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            code_entropy(np.array([0]), bits=0)
+
+    def test_empty_stream(self):
+        report = code_entropy(np.array([], dtype=int), bits=3)
+        assert report.entropy_bits == 0.0
+
+
+class TestGoboCodesNearMaxEntropy:
+    """The design property: equal-population codes leave no Huffman headroom."""
+
+    @pytest.fixture(scope="class")
+    def gaussian(self):
+        return np.random.default_rng(0).normal(0, 0.04, size=100_000)
+
+    def test_gobo_codes_nearly_uniform(self, gaussian):
+        # The L1 iteration drifts the outer bins a little off equal
+        # population, but the stream stays within ~0.1 bit of maximal.
+        result = gobo_cluster(gaussian, bits=3)
+        report = code_entropy(result.assignment, bits=3)
+        assert report.uniformity > 0.95
+        assert report.huffman_headroom_bits < 0.15
+
+    def test_linear_codes_far_from_uniform(self, gaussian):
+        """Uniform-interval codes on a Gaussian are heavily skewed —
+        Deep Compression's reason for a Huffman stage."""
+        centroids = linear_centroids(gaussian, 8)
+        assignment = assign_to_centroids(gaussian, centroids)
+        report = code_entropy(assignment, bits=3)
+        assert report.huffman_headroom_bits > 0.3
+
+    def test_gobo_headroom_below_linear(self, gaussian):
+        gobo = code_entropy(gobo_cluster(gaussian, 3).assignment, 3)
+        centroids = linear_centroids(gaussian, 8)
+        linear = code_entropy(assign_to_centroids(gaussian, centroids), 3)
+        assert gobo.huffman_headroom_bits < linear.huffman_headroom_bits

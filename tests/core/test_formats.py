@@ -1,0 +1,84 @@
+"""Tests for storage accounting and compression ratios."""
+
+import pytest
+
+from repro.core.formats import (
+    compression_curve,
+    potential_compression_ratio,
+    storage_report,
+)
+
+
+class TestPotentialRatio:
+    """The paper's 'Potential Comp. Ratio' column of Table IV."""
+
+    @pytest.mark.parametrize(
+        "bits,expected",
+        [(2, 16.0), (3, 32 / 3), (4, 8.0), (5, 6.4), (6, 32 / 6), (7, 32 / 7)],
+    )
+    def test_matches_paper(self, bits, expected):
+        assert potential_compression_ratio(bits) == pytest.approx(expected)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            potential_compression_ratio(0)
+
+
+class TestStorageReport:
+    def test_byte_breakdown(self):
+        report = storage_report(total_weights=1000, outliers=10, bits=3)
+        assert report.gaussian_weights == 990
+        assert report.code_bytes == (990 * 3 + 7) // 8
+        assert report.outlier_value_bytes == 40
+        assert report.outlier_position_bytes == 40
+        assert report.table_bytes == 8 * 4
+
+    def test_compression_ratio_definition(self):
+        report = storage_report(1000, 10, 3)
+        assert report.compression_ratio == pytest.approx(
+            4000 / report.compressed_bytes
+        )
+
+    def test_large_layer_approaches_potential(self):
+        report = storage_report(10_000_000, 10_000, 3)  # 0.1% outliers
+        assert report.compression_ratio == pytest.approx(10.4, abs=0.2)
+        assert report.effective_bits_per_weight == pytest.approx(3.07, abs=0.05)
+
+    def test_no_outliers_no_overhead(self):
+        report = storage_report(1 << 20, 0, 4)
+        assert report.compression_ratio == pytest.approx(8.0, rel=0.001)
+
+    def test_zero_weights(self):
+        report = storage_report(0, 0, 3)
+        assert report.compressed_bytes == 32  # just the table
+        assert report.effective_bits_per_weight == 0.0
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ValueError):
+            storage_report(10, 11, 3)
+        with pytest.raises(ValueError):
+            storage_report(-1, 0, 3)
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError):
+            storage_report(10, 0, 9)
+
+
+class TestCompressionCurve:
+    def test_ratio_grows_with_group_size(self):
+        curve = compression_curve(3, [4, 64, 1024, 1 << 20])
+        ratios = [ratio for _, ratio in curve]
+        assert ratios == sorted(ratios)
+
+    def test_asymptote_is_potential_ratio(self):
+        (_, ratio), = compression_curve(3, [1 << 26])
+        assert ratio == pytest.approx(32 / 3, rel=0.001)
+
+    def test_small_groups_dominated_by_table(self):
+        (_, ratio), = compression_curve(6, [4])
+        assert ratio < 1.0  # 64-entry FP32 table for 4 weights
+
+    def test_outlier_fraction_lowers_ratio(self):
+        (_, clean), = compression_curve(3, [1 << 20], outlier_fraction=0.0)
+        (_, dirty), = compression_curve(3, [1 << 20], outlier_fraction=0.01)
+        assert dirty < clean

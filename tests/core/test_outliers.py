@@ -1,0 +1,94 @@
+"""Tests for Gaussian outlier detection."""
+
+import numpy as np
+import pytest
+
+from repro.core.outliers import DEFAULT_LOG_PROB_THRESHOLD, OutlierDetector
+from repro.models.zoo import SyntheticWeightSpec, synthetic_layer_weights
+
+
+@pytest.fixture
+def gaussian_with_fringe(rng):
+    weights = rng.normal(0, 0.04, size=100000)
+    fringe = rng.choice(100000, size=100, replace=False)
+    weights[fringe] = 0.4 * np.sign(rng.normal(size=100))
+    return weights, fringe
+
+
+class TestSplit:
+    def test_detects_planted_fringe(self, gaussian_with_fringe):
+        weights, fringe = gaussian_with_fringe
+        split = OutlierDetector().split(weights)
+        assert set(fringe).issubset(set(np.flatnonzero(split.outlier_mask)))
+
+    def test_outlier_fraction_near_paper_value(self, gaussian_with_fringe):
+        """The paper reports ~0.1% outliers at threshold -4."""
+        weights, _ = gaussian_with_fringe
+        fraction = OutlierDetector().split(weights).outlier_fraction
+        assert 0.0005 < fraction < 0.005
+
+    def test_pure_gaussian_has_tiny_fraction(self, rng):
+        # At BERT-like weight scales (sigma ~0.04) the -4 threshold keeps
+        # only the far tail, matching the paper's ~0.1% outliers.
+        split = OutlierDetector().split(rng.normal(0, 0.04, size=200000))
+        assert split.outlier_fraction < 0.002
+
+    def test_threshold_is_scale_aware(self, rng):
+        # The log-pdf threshold includes -log(sigma): wider distributions
+        # admit more of their tail, matching Eq. 1 applied verbatim.
+        narrow = OutlierDetector().split(rng.normal(0, 0.04, 100000)).outlier_fraction
+        wide = OutlierDetector().split(rng.normal(0, 1.0, 100000)).outlier_fraction
+        assert wide > narrow
+
+    def test_mask_shape_matches_input(self, rng):
+        weights = rng.normal(size=(32, 16))
+        assert OutlierDetector().split(weights).outlier_mask.shape == (32, 16)
+
+    def test_group_accessors_partition(self, gaussian_with_fringe):
+        weights, _ = gaussian_with_fringe
+        split = OutlierDetector().split(weights)
+        assert split.gaussian_values(weights).size + split.outlier_values(weights).size == weights.size
+        assert split.outlier_count == split.outlier_values(weights).size
+
+    def test_outliers_have_larger_magnitude(self, gaussian_with_fringe):
+        weights, _ = gaussian_with_fringe
+        split = OutlierDetector().split(weights)
+        assert np.abs(split.outlier_values(weights)).min() > np.abs(
+            split.gaussian_values(weights)
+        ).max() * 0.9
+
+    def test_default_threshold(self):
+        assert OutlierDetector().log_prob_threshold == DEFAULT_LOG_PROB_THRESHOLD == -4.0
+
+
+class TestThresholdBehaviour:
+    def test_lower_threshold_fewer_outliers(self, gaussian_with_fringe):
+        weights, _ = gaussian_with_fringe
+        loose = OutlierDetector(-6.0).split(weights).outlier_count
+        strict = OutlierDetector(-3.0).split(weights).outlier_count
+        assert loose < strict
+
+    def test_synthetic_layer_matches_spec(self):
+        spec = SyntheticWeightSpec(outlier_fraction=0.002)
+        weights = synthetic_layer_weights((400, 400), spec, rng=0)
+        fraction = OutlierDetector().split(weights).outlier_fraction
+        assert fraction == pytest.approx(0.002, rel=0.5)
+
+
+class TestMagnitudeCutoff:
+    def test_cutoff_separates_groups(self, gaussian_with_fringe):
+        weights, _ = gaussian_with_fringe
+        detector = OutlierDetector()
+        split = detector.split(weights)
+        cutoff = detector.magnitude_cutoff(weights)
+        mean = split.fit.mean
+        outlier_dist = np.abs(split.outlier_values(weights) - mean)
+        gaussian_dist = np.abs(split.gaussian_values(weights) - mean)
+        assert outlier_dist.min() >= cutoff * 0.999
+        assert gaussian_dist.max() <= cutoff * 1.001
+
+    def test_cutoff_scales_with_std(self, rng):
+        detector = OutlierDetector()
+        narrow = detector.magnitude_cutoff(rng.normal(0, 0.01, 10000))
+        wide = detector.magnitude_cutoff(rng.normal(0, 0.1, 10000))
+        assert wide > narrow * 5

@@ -1,0 +1,74 @@
+"""Tests for per-layer bit policies."""
+
+import pytest
+
+from repro.core.policy import LayerPolicy, PolicyRule, mixed_precision_policy
+from repro.errors import ConfigError
+
+
+class TestPolicyRule:
+    def test_matches_regex(self):
+        rule = PolicyRule(r"encoder\.0\..*\.weight$", 4)
+        assert rule.matches("encoder.0.attention.value.weight")
+        assert not rule.matches("encoder.10.attention.value.weight")
+
+    def test_invalid_bits(self):
+        with pytest.raises(ConfigError):
+            PolicyRule("x", 0)
+
+    def test_invalid_pattern(self):
+        with pytest.raises(ConfigError):
+            PolicyRule("(unclosed", 3)
+
+
+class TestLayerPolicy:
+    def test_uniform(self):
+        policy = LayerPolicy.uniform(4)
+        assert policy.bits_for("anything") == 4
+
+    def test_first_matching_rule_wins(self):
+        policy = LayerPolicy(
+            default_bits=3,
+            rules=(PolicyRule("value", 4), PolicyRule("value", 5)),
+        )
+        assert policy.bits_for("attention.value.weight") == 4
+
+    def test_default_when_no_match(self):
+        policy = LayerPolicy(default_bits=3, rules=(PolicyRule("value", 4),))
+        assert policy.bits_for("attention.query.weight") == 3
+
+    def test_invalid_default(self):
+        with pytest.raises(ConfigError):
+            LayerPolicy(default_bits=0)
+
+
+class TestMixedPrecisionPolicy:
+    """The paper's RoBERTa recipe: Value + Intermediate of the first half."""
+
+    def test_sensitive_layers_get_more_bits(self):
+        policy = mixed_precision_policy(6, sensitive_bits=4, default_bits=3)
+        assert policy.bits_for("encoder.0.attention.value.weight") == 4
+        assert policy.bits_for("encoder.5.intermediate.weight") == 4
+
+    def test_later_layers_default(self):
+        policy = mixed_precision_policy(6)
+        assert policy.bits_for("encoder.6.attention.value.weight") == 3
+        assert policy.bits_for("encoder.11.intermediate.weight") == 3
+
+    def test_non_sensitive_components_default(self):
+        policy = mixed_precision_policy(6)
+        assert policy.bits_for("encoder.0.attention.query.weight") == 3
+        assert policy.bits_for("encoder.0.output.weight") == 3
+
+    def test_layer_index_not_prefix_matched(self):
+        policy = mixed_precision_policy(1)
+        assert policy.bits_for("encoder.1.attention.value.weight") == 3
+        assert policy.bits_for("encoder.10.attention.value.weight") == 3
+
+    def test_zero_sensitive_layers(self):
+        policy = mixed_precision_policy(0)
+        assert policy.bits_for("encoder.0.attention.value.weight") == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            mixed_precision_policy(-1)

@@ -1,0 +1,76 @@
+"""Tests for the on-disk GOBO archive format."""
+
+import numpy as np
+import pytest
+
+from repro.core.model_quantizer import quantize_model
+from repro.core.serialization import load_quantized_model, save_quantized_model
+from repro.errors import SerializationError
+from repro.models.heads import BertForSequenceClassification
+from tests.conftest import MICRO_CONFIG
+
+
+@pytest.fixture(scope="module")
+def quantized():
+    model = BertForSequenceClassification(MICRO_CONFIG, num_labels=3, rng=0)
+    return model, quantize_model(model, weight_bits=3, embedding_bits=4)
+
+
+class TestRoundTrip:
+    def test_state_dicts_identical(self, quantized, tmp_path):
+        _, original = quantized
+        path = tmp_path / "model.npz"
+        save_quantized_model(original, path)
+        loaded = load_quantized_model(path)
+        original_state = original.state_dict()
+        loaded_state = loaded.state_dict()
+        assert set(original_state) == set(loaded_state)
+        for name in original_state:
+            # FP32 storage precision: exact at float32 resolution.
+            np.testing.assert_allclose(
+                loaded_state[name], original_state[name], rtol=1e-6, atol=1e-7
+            )
+
+    def test_quantized_fields_preserved(self, quantized, tmp_path):
+        _, original = quantized
+        path = tmp_path / "model.npz"
+        save_quantized_model(original, path)
+        loaded = load_quantized_model(path)
+        assert set(loaded.quantized) == set(original.quantized)
+        name = next(iter(original.quantized))
+        assert loaded.quantized[name].bits == original.quantized[name].bits
+        np.testing.assert_array_equal(
+            loaded.quantized[name].codes(), original.quantized[name].codes()
+        )
+        assert loaded.fc_names == original.fc_names
+        assert loaded.embedding_names == original.embedding_names
+
+    def test_loaded_model_applies(self, quantized, tmp_path):
+        model, original = quantized
+        path = tmp_path / "model.npz"
+        save_quantized_model(original, path)
+        probe = BertForSequenceClassification(MICRO_CONFIG, num_labels=3, rng=1)
+        load_quantized_model(path).apply_to(probe)
+
+    def test_file_realizes_compression(self, tmp_path):
+        """At a realistic (non-micro) size, the archive on disk is several
+        times smaller than float32 storage of the whole model."""
+        from repro.models import TINY_BERT_BASE
+
+        model = BertForSequenceClassification(TINY_BERT_BASE, num_labels=3, rng=0)
+        quantized = quantize_model(model, weight_bits=3, embedding_bits=3)
+        size = save_quantized_model(quantized, tmp_path / "model.npz")
+        fp32_bytes = 4 * model.num_parameters()
+        assert size < fp32_bytes / 4
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_quantized_model(tmp_path / "absent.npz")
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        path.write_bytes(b"garbage")
+        with pytest.raises(SerializationError):
+            load_quantized_model(path)

@@ -1,0 +1,87 @@
+"""Tests for minibatching and TaskData containers."""
+
+import numpy as np
+import pytest
+
+from repro.data.batching import iterate_batches
+from repro.data.mnli import generate_mnli
+from repro.data.task import TaskData
+from repro.errors import ShapeError
+from repro.tokenization.tokenizer import Encoding
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate_mnli(num_train=25, num_eval=5, rng=0).train
+
+
+class TestIterateBatches:
+    def test_covers_all_examples(self, data):
+        total = sum(len(batch) for batch in iterate_batches(data, 8))
+        assert total == 25
+
+    def test_last_batch_short(self, data):
+        sizes = [len(b) for b in iterate_batches(data, 8)]
+        assert sizes == [8, 8, 8, 1]
+
+    def test_drop_last(self, data):
+        sizes = [len(b) for b in iterate_batches(data, 8, drop_last=True)]
+        assert sizes == [8, 8, 8]
+
+    def test_shuffle_changes_order(self, data):
+        plain = next(iter(iterate_batches(data, 8)))
+        shuffled = next(iter(iterate_batches(data, 8, shuffle=True, rng=0)))
+        assert not np.array_equal(plain.encodings.input_ids, shuffled.encodings.input_ids)
+
+    def test_shuffle_deterministic(self, data):
+        a = next(iter(iterate_batches(data, 8, shuffle=True, rng=3)))
+        b = next(iter(iterate_batches(data, 8, shuffle=True, rng=3)))
+        np.testing.assert_array_equal(a.encodings.input_ids, b.encodings.input_ids)
+
+    def test_labels_stay_aligned(self, data):
+        for batch in iterate_batches(data, 8, shuffle=True, rng=1):
+            assert batch.labels.shape[0] == batch.encodings.input_ids.shape[0]
+
+    def test_invalid_batch_size(self, data):
+        with pytest.raises(ValueError):
+            list(iterate_batches(data, 0))
+
+
+class TestTaskData:
+    def test_label_count_checked(self):
+        enc = Encoding(
+            input_ids=np.zeros((3, 4), dtype=np.int64),
+            attention_mask=np.ones((3, 4), dtype=np.int64),
+            token_type_ids=np.zeros((3, 4), dtype=np.int64),
+        )
+        with pytest.raises(ShapeError):
+            TaskData("x", "classification", enc, labels=np.zeros(2, dtype=np.int64))
+
+    def test_span_label_shape_checked(self):
+        enc = Encoding(
+            input_ids=np.zeros((3, 4), dtype=np.int64),
+            attention_mask=np.ones((3, 4), dtype=np.int64),
+            token_type_ids=np.zeros((3, 4), dtype=np.int64),
+        )
+        with pytest.raises(ShapeError):
+            TaskData("x", "span", enc, labels=np.zeros(3, dtype=np.int64))
+
+    def test_unknown_task_type(self):
+        enc = Encoding(
+            input_ids=np.zeros((1, 4), dtype=np.int64),
+            attention_mask=np.ones((1, 4), dtype=np.int64),
+            token_type_ids=np.zeros((1, 4), dtype=np.int64),
+        )
+        with pytest.raises(ValueError):
+            TaskData("x", "magic", enc, labels=np.zeros(1))
+
+    def test_subset(self, data):
+        subset = data.subset(np.array([0, 2, 4]))
+        assert len(subset) == 3
+        np.testing.assert_array_equal(
+            subset.encodings.input_ids[1], data.encodings.input_ids[2]
+        )
+        assert subset.labels[2] == data.labels[4]
+
+    def test_max_length(self, data):
+        assert data.max_length == data.encodings.input_ids.shape[1]

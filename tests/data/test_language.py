@@ -1,0 +1,72 @@
+"""Tests for the synthetic language."""
+
+import pytest
+
+from repro.data.synthetic_language import SyntheticLanguage, default_language
+
+
+@pytest.fixture
+def language():
+    return default_language()
+
+
+class TestTokens:
+    def test_all_families_present(self, language):
+        tokens = language.tokens()
+        assert "one0" in tokens and "two0" in tokens
+        assert "ent0" in tokens and "word0" in tokens
+        assert "ans" in tokens and "mark0" in tokens
+
+    def test_no_duplicates(self, language):
+        tokens = language.tokens()
+        assert len(tokens) == len(set(tokens))
+
+    def test_vocabulary_size_counts_specials(self, language):
+        assert language.vocabulary_size() == len(language.tokens()) + 5
+
+    def test_fits_tiny_model_vocab(self, language):
+        assert language.vocabulary_size() <= 160
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticLanguage(num_entities=1)
+        with pytest.raises(ValueError):
+            SyntheticLanguage(num_fillers=0)
+        with pytest.raises(ValueError):
+            SyntheticLanguage(num_light_forms=0)
+
+
+class TestWordWeight:
+    def test_light_is_one(self, language):
+        assert language.word_weight("one2") == 1
+
+    def test_heavy_is_two(self, language):
+        assert language.word_weight("two0") == 2
+
+    def test_others_are_zero(self, language):
+        assert language.word_weight("word5") == 0
+        assert language.word_weight("ans") == 0
+
+
+class TestValueSentence:
+    @pytest.mark.parametrize("score", [0, 1, 2, 7, 15])
+    def test_score_round_trip(self, language, score, rng):
+        sentence = language.value_sentence(score, rng)
+        assert language.sentence_score(sentence) == score
+
+    def test_contains_fillers(self, language, rng):
+        sentence = language.value_sentence(0, rng, min_fillers=3, max_fillers=3)
+        assert len(sentence.split()) == 3
+
+    def test_negative_score_rejected(self, language, rng):
+        with pytest.raises(ValueError):
+            language.value_sentence(-1, rng)
+
+    def test_deterministic_under_seed(self, language):
+        assert language.value_sentence(5, 42) == language.value_sentence(5, 42)
+
+    def test_surface_variety(self, language):
+        # Over many samples both light and heavy forms should appear.
+        words = " ".join(language.value_sentence(6, seed) for seed in range(20)).split()
+        assert any(w.startswith("one") for w in words)
+        assert any(w.startswith("two") for w in words)

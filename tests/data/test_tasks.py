@@ -1,0 +1,113 @@
+"""Tests for the three task generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.mnli import generate_mnli
+from repro.data.squad import generate_squad
+from repro.data.stsb import generate_stsb
+from repro.data.synthetic_language import default_language
+
+
+class TestMnli:
+    @pytest.fixture(scope="class")
+    def splits(self):
+        return generate_mnli(num_train=60, num_eval=30, rng=0)
+
+    def test_split_sizes(self, splits):
+        assert len(splits.train) == 60 and len(splits.eval) == 30
+
+    def test_three_classes_present(self, splits):
+        assert set(np.unique(splits.train.labels)) == {0, 1, 2}
+
+    def test_labels_match_sentence_scores(self, splits):
+        """Decode each pair and verify the label from the value sums."""
+        language = default_language()
+        vocab = splits.tokenizer.vocab
+        data = splits.eval
+        for i in range(len(data)):
+            ids = data.encodings.input_ids[i]
+            segments = data.encodings.token_type_ids[i]
+            mask = data.encodings.attention_mask[i]
+            words = [vocab.token_of(int(t)) for t in ids[mask == 1]]
+            seg = segments[mask == 1]
+            score_a = sum(language.word_weight(w) for w, s in zip(words, seg) if s == 0)
+            score_b = sum(language.word_weight(w) for w, s in zip(words, seg) if s == 1)
+            expected = 0 if score_a > score_b else (1 if score_a == score_b else 2)
+            assert expected == data.labels[i]
+
+    def test_deterministic(self):
+        a = generate_mnli(num_train=10, num_eval=5, rng=7)
+        b = generate_mnli(num_train=10, num_eval=5, rng=7)
+        np.testing.assert_array_equal(
+            a.train.encodings.input_ids, b.train.encodings.input_ids
+        )
+        np.testing.assert_array_equal(a.train.labels, b.train.labels)
+
+    def test_train_eval_disjoint_streams(self, splits):
+        assert not np.array_equal(
+            splits.train.encodings.input_ids[: len(splits.eval)],
+            splits.eval.encodings.input_ids,
+        )
+
+
+class TestStsb:
+    @pytest.fixture(scope="class")
+    def splits(self):
+        return generate_stsb(num_train=60, num_eval=30, rng=0)
+
+    def test_task_type(self, splits):
+        assert splits.train.task_type == "regression"
+
+    def test_scores_in_range(self, splits):
+        assert splits.train.labels.min() >= 0.0
+        assert splits.train.labels.max() <= 5.0
+
+    def test_scores_are_graded(self, splits):
+        assert len(np.unique(splits.train.labels)) > 3
+
+    def test_labels_match_sum_difference(self, splits):
+        language = default_language()
+        vocab = splits.tokenizer.vocab
+        data = splits.eval
+        for i in range(len(data)):
+            ids = data.encodings.input_ids[i]
+            seg = data.encodings.token_type_ids[i]
+            mask = data.encodings.attention_mask[i]
+            words = [vocab.token_of(int(t)) for t in ids[mask == 1]]
+            segs = seg[mask == 1]
+            sum_a = sum(language.word_weight(w) for w, s in zip(words, segs) if s == 0)
+            sum_b = sum(language.word_weight(w) for w, s in zip(words, segs) if s == 1)
+            expected = 5.0 * (1.0 - abs(sum_a - sum_b) / 8.0)
+            assert data.labels[i] == pytest.approx(expected)
+
+
+class TestSquad:
+    @pytest.fixture(scope="class")
+    def splits(self):
+        return generate_squad(num_train=60, num_eval=30, rng=0)
+
+    def test_task_type_and_label_shape(self, splits):
+        assert splits.train.task_type == "span"
+        assert splits.train.labels.shape == (60, 2)
+
+    def test_spans_are_ordered(self, splits):
+        assert np.all(splits.train.labels[:, 1] >= splits.train.labels[:, 0])
+
+    def test_spans_point_at_entities_after_ans(self, splits):
+        vocab = splits.tokenizer.vocab
+        data = splits.eval
+        for i in range(len(data)):
+            ids = data.encodings.input_ids[i]
+            start, end = data.labels[i]
+            # The token before the span start is the answer marker.
+            assert vocab.token_of(int(ids[start - 1])) == "ans"
+            for position in range(start, end + 1):
+                assert vocab.token_of(int(ids[position])).startswith("ent")
+
+    def test_answer_span_lengths_vary(self, splits):
+        lengths = splits.train.labels[:, 1] - splits.train.labels[:, 0] + 1
+        assert set(np.unique(lengths)) == {1, 2, 3}
+
+    def test_spans_inside_max_length(self, splits):
+        assert splits.train.labels.max() < splits.train.max_length

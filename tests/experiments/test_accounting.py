@@ -1,0 +1,67 @@
+"""Tests for full-scale storage-accounting helpers in the tables module."""
+
+import pytest
+
+from repro.experiments.tables import (
+    _average_outlier_fraction,
+    fp32_model_bytes,
+    gobo_model_bytes,
+    measured_outlier_fractions,
+    q8bert_model_bytes,
+    qbert_model_bytes,
+)
+from repro.models import fc_weight_count, get_config
+
+
+class TestMeasuredOutlierFractions:
+    def test_covers_every_fc_layer(self):
+        config = get_config("tiny-bert-base")
+        fractions = measured_outlier_fractions("tiny-bert-base")
+        assert len(fractions) == config.num_fc_layers
+
+    def test_fractions_small(self):
+        fractions = measured_outlier_fractions("tiny-bert-base")
+        assert all(0.0 <= f < 0.02 for f in fractions.values())
+
+    def test_average_is_weighted(self):
+        average = _average_outlier_fraction("tiny-bert-base")
+        fractions = measured_outlier_fractions("tiny-bert-base")
+        assert min(fractions.values()) <= average <= max(fractions.values())
+
+    def test_cached(self):
+        a = measured_outlier_fractions("tiny-bert-base")
+        b = measured_outlier_fractions("tiny-bert-base")
+        assert a is b
+
+
+class TestModelBytes:
+    def test_fp32_composition(self):
+        config = get_config("tiny-bert-base")
+        weights_only = fp32_model_bytes(config, include_embeddings=False)
+        assert weights_only == fc_weight_count(config) * 4
+        assert fp32_model_bytes(config) > weights_only
+
+    def test_gobo_bytes_monotone_in_bits(self):
+        config = get_config("bert-base")
+        assert gobo_model_bytes(config, 3, 4) < gobo_model_bytes(config, 4, 4)
+
+    def test_gobo_embeddings_optional(self):
+        config = get_config("bert-base")
+        with_emb = gobo_model_bytes(config, 3, 4)
+        without = gobo_model_bytes(config, 3, None)
+        assert with_emb > without
+
+    def test_outlier_fraction_raises_cost(self):
+        config = get_config("bert-base")
+        clean = gobo_model_bytes(config, 3, 4, outlier_fraction=0.0)
+        dirty = gobo_model_bytes(config, 3, 4, outlier_fraction=0.01)
+        assert dirty > clean
+
+    def test_q8bert_is_exactly_one_byte_per_value(self):
+        config = get_config("bert-base")
+        assert q8bert_model_bytes(config) * 4 == fp32_model_bytes(config)
+
+    def test_qbert_includes_dictionaries(self):
+        config = get_config("bert-base")
+        bare_codes = fc_weight_count(config) * 3 // 8
+        assert qbert_model_bytes(config, 3) > bare_codes

@@ -1,0 +1,103 @@
+"""Tests for the accuracy experiment engine (micro-scale, no disk cache)."""
+
+import numpy as np
+import pytest
+
+import repro.experiments.accuracy as accuracy_mod
+from repro.experiments.accuracy import (
+    TrainRecipe,
+    error_vs_baseline,
+    get_finetuned,
+    quantized_score,
+    resolve_model_name,
+)
+from tests.conftest import MICRO_CONFIG
+
+
+@pytest.fixture(autouse=True)
+def micro_recipes(monkeypatch, tmp_path):
+    """Shrink the training recipes and isolate the disk cache."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.setattr(
+        accuracy_mod,
+        "RECIPES",
+        {
+            "mnli": TrainRecipe("mnli", "classification", 3, 64, 32, 1, 2e-3, 16),
+            "stsb": TrainRecipe("stsb", "regression", 0, 64, 32, 1, 2e-3, 16),
+        },
+    )
+    monkeypatch.setattr(accuracy_mod, "TINY_COUNTERPART", {"bert-base": "micro"})
+    monkeypatch.setattr(
+        accuracy_mod, "get_config", lambda name: MICRO_CONFIG
+    )
+    accuracy_mod.task_splits.cache_clear()
+    yield
+    accuracy_mod.task_splits.cache_clear()
+
+
+class TestResolveModelName:
+    def test_full_scale_mapped(self):
+        assert resolve_model_name("bert-base") == "micro"
+
+    def test_unknown_passthrough(self):
+        assert resolve_model_name("micro") == "micro"
+
+
+class TestGetFinetuned:
+    def test_trains_and_reports_baseline(self):
+        finetuned = get_finetuned("bert-base", "mnli", use_cache=False)
+        assert 0.0 <= finetuned.baseline_score <= 1.0
+        assert finetuned.task == "mnli"
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(ValueError):
+            get_finetuned("bert-base", "qa", use_cache=False)
+
+    def test_cache_round_trip(self):
+        first = get_finetuned("bert-base", "mnli", use_cache=True)
+        second = get_finetuned("bert-base", "mnli", use_cache=True)
+        assert second.baseline_score == first.baseline_score
+        np.testing.assert_array_equal(
+            first.model.state_dict()["classifier.weight"],
+            second.model.state_dict()["classifier.weight"],
+        )
+
+
+class TestQuantizedScore:
+    @pytest.fixture(scope="class")
+    def finetuned(self):
+        # Class-scoped: train once for all scoring tests (fixtures above are
+        # function-scoped, so rebuild the environment manually here).
+        pass
+
+    def test_scores_in_range(self):
+        finetuned = get_finetuned("bert-base", "mnli", use_cache=False)
+        for bits in (2, 4):
+            score = quantized_score(finetuned, bits, None, method="gobo")
+            assert 0.0 <= score <= 1.0
+
+    def test_high_bits_track_baseline(self):
+        finetuned = get_finetuned("bert-base", "mnli", use_cache=False)
+        score = quantized_score(finetuned, 8, 8, method="gobo")
+        assert abs(score - finetuned.baseline_score) < 0.15
+
+    def test_embedding_only_scenario(self):
+        finetuned = get_finetuned("bert-base", "mnli", use_cache=False)
+        score = quantized_score(finetuned, None, 4, method="gobo")
+        assert 0.0 <= score <= 1.0
+
+    def test_source_model_not_mutated(self):
+        finetuned = get_finetuned("bert-base", "mnli", use_cache=False)
+        before = {k: v.copy() for k, v in finetuned.model.state_dict().items()}
+        quantized_score(finetuned, 2, 2, method="linear")
+        after = finetuned.model.state_dict()
+        for name in before:
+            np.testing.assert_array_equal(before[name], after[name])
+
+
+class TestErrorVsBaseline:
+    def test_positive_when_worse(self):
+        assert error_vs_baseline(0.9, 0.85) == pytest.approx(0.05)
+
+    def test_negative_when_better(self):
+        assert error_vs_baseline(0.9, 0.95) == pytest.approx(-0.05)

@@ -1,0 +1,44 @@
+"""Tests for the checkpoint cache."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import cache
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    yield tmp_path
+
+
+class TestCache:
+    def test_round_trip(self, rng):
+        state = {"a.weight": rng.normal(size=(3, 4)), "b": rng.normal(size=5)}
+        cache.save_state("model-task", state, {"baseline": 0.9})
+        loaded, scores = cache.load_state("model-task")
+        assert set(loaded) == {"a.weight", "b"}
+        np.testing.assert_array_equal(loaded["a.weight"], state["a.weight"])
+        assert scores["baseline"] == 0.9
+
+    def test_missing_returns_none(self):
+        assert cache.load_state("never-saved") is None
+
+    def test_key_sanitized(self, rng):
+        cache.save_state("weird/key with spaces", {"x": rng.normal(size=2)})
+        assert cache.load_state("weird/key with spaces") is not None
+
+    def test_corrupt_file_returns_none(self, isolated_cache):
+        path = cache.checkpoint_path("corrupt")
+        path.write_bytes(b"not an npz")
+        assert cache.load_state("corrupt") is None
+
+    def test_clear_cache(self, rng):
+        cache.save_state("a", {"x": rng.normal(size=2)})
+        cache.save_state("b", {"x": rng.normal(size=2)})
+        assert cache.clear_cache() == 2
+        assert cache.load_state("a") is None
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(Exception):
+            cache.checkpoint_path("")

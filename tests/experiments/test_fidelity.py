@@ -1,0 +1,74 @@
+"""Tests for the weight-space fidelity experiments.
+
+These verify the paper's policy ordering where it is deterministic: on
+Gaussian-distributed weights, GOBO's centroids reconstruct with lower L1
+error than K-Means', and far lower than linear quantization's.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fidelity import fidelity_sweep, policy_fidelity
+from repro.models.zoo import SyntheticWeightSpec, synthetic_layer_weights
+
+
+@pytest.fixture(scope="module")
+def weights():
+    return synthetic_layer_weights((150, 150), SyntheticWeightSpec(), rng=0)
+
+
+class TestPolicyFidelity:
+    def test_gobo_not_worse_than_kmeans_l1(self, weights):
+        gobo = policy_fidelity(weights, 3, "gobo")
+        kmeans = policy_fidelity(weights, 3, "kmeans")
+        assert gobo.mean_abs_error <= kmeans.mean_abs_error * 1.001
+
+    def test_linear_much_worse_on_gaussian(self, weights):
+        """Table IV's shape: the linear policy is the clear loser."""
+        gobo = policy_fidelity(weights, 3, "gobo")
+        linear = policy_fidelity(weights, 3, "linear")
+        assert linear.mean_abs_error > 1.5 * gobo.mean_abs_error
+
+    def test_kmeans_wins_l2(self, weights):
+        """K-Means optimizes L2; GOBO trades a little L2 for better L1."""
+        gobo = policy_fidelity(weights, 3, "gobo")
+        kmeans = policy_fidelity(weights, 3, "kmeans")
+        assert kmeans.rmse <= gobo.rmse * 1.05
+
+    def test_gobo_converges_faster(self, weights):
+        gobo = policy_fidelity(weights, 3, "gobo")
+        kmeans = policy_fidelity(weights, 3, "kmeans")
+        assert gobo.iterations < kmeans.iterations
+
+    def test_more_bits_less_error(self, weights):
+        errors = [policy_fidelity(weights, bits, "gobo").mean_abs_error for bits in (2, 3, 4)]
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_normalized_to(self, weights):
+        gobo = policy_fidelity(weights, 3, "gobo")
+        linear = policy_fidelity(weights, 3, "linear")
+        assert linear.normalized_to(gobo) == pytest.approx(
+            linear.mean_abs_error / gobo.mean_abs_error
+        )
+
+    def test_unknown_policy_rejected(self, weights):
+        with pytest.raises(ValueError):
+            policy_fidelity(weights, 3, "magic")
+
+
+class TestFidelitySweep:
+    def test_full_grid(self):
+        results = fidelity_sweep(bits_list=(2, 3), layer_shape=(80, 80))
+        assert len(results) == 6
+        assert {r.policy for r in results} == {"linear", "kmeans", "gobo"}
+        assert {r.bits for r in results} == {2, 3}
+
+    def test_ordering_holds_across_bits(self):
+        results = fidelity_sweep(bits_list=(3, 4), layer_shape=(120, 120))
+        by_key = {(r.policy, r.bits): r for r in results}
+        for bits in (3, 4):
+            assert (
+                by_key[("gobo", bits)].mean_abs_error
+                <= by_key[("kmeans", bits)].mean_abs_error * 1.001
+                < by_key[("linear", bits)].mean_abs_error
+            )

@@ -1,0 +1,94 @@
+"""Tests for the uniform experiment-payload renderer."""
+
+import numpy as np
+
+from repro.core.clustering import ConvergenceTrace
+from repro.experiments.figures import (
+    ConvergenceComparison,
+    EmbeddingAccuracyPoint,
+    LayerDistribution,
+    WeightScatter,
+)
+from repro.experiments.report import render_payload
+from repro.experiments.tables import TableResult
+
+
+def _trace(values):
+    trace = ConvergenceTrace()
+    trace.l1_norms.extend(values)
+    trace.l2_norms.extend(v * v for v in values)
+    return trace
+
+
+class TestRenderPayload:
+    def test_table_result(self):
+        payload = TableResult("T", ["a"], [["x"]])
+        assert render_payload(payload).startswith("T")
+
+    def test_list_of_tables(self):
+        payload = [TableResult("A", ["h"], []), TableResult("B", ["h"], [])]
+        text = render_payload(payload)
+        assert "A" in text and "B" in text
+
+    def test_distributions(self):
+        payload = [
+            LayerDistribution(
+                layer="encoder.0",
+                centers=np.zeros(3),
+                counts=np.ones(3, dtype=int),
+                mean=0.0,
+                std=0.04,
+                gaussian_overlap=0.97,
+            )
+        ]
+        text = render_payload(payload)
+        assert "encoder.0" in text and "0.970" in text
+
+    def test_census(self):
+        text = render_payload([("encoder.0.x", 0.001), ("pooler", 0.006)])
+        assert "0.100%" in text and "0.600%" in text
+
+    def test_convergence(self):
+        payload = ConvergenceComparison(
+            gobo_trace=_trace([10.0, 5.0]),
+            kmeans_trace=_trace([10.0, 5.0, 4.0, 4.0]),
+            gobo_iterations=2,
+            kmeans_iterations=4,
+            gobo_final_l1=5.0,
+            kmeans_final_l1=4.0,
+            gobo_inference_error=0.0069,
+            kmeans_inference_error=0.0136,
+        )
+        text = render_payload(payload)
+        assert "2.0x" in text and "+0.69%" in text
+
+    def test_scatter(self):
+        payload = WeightScatter(
+            layer="encoder.1",
+            positions=np.arange(4),
+            values=np.array([0.1, -0.2, 0.3, 0.5]),
+            is_outlier=np.array([False, False, False, True]),
+            magnitude_cutoff=0.4,
+            outlier_fraction=0.001,
+        )
+        text = render_payload(payload)
+        assert "encoder.1" in text and "0.100%" in text
+
+    def test_embedding_points(self):
+        payload = [
+            EmbeddingAccuracyPoint(
+                model="bert-base", scenario="s", score=0.84, normalized=0.99
+            )
+        ]
+        text = render_payload(payload)
+        assert "bert-base" in text and "84.00%" in text
+
+    def test_curves_dict(self):
+        text = render_payload({3: [(16, 1.68), (1024, 9.85)]})
+        assert "3-bit" in text and "9.85x" in text
+
+    def test_empty_list(self):
+        assert render_payload([]) == "(empty)"
+
+    def test_unknown_payload_reprs(self):
+        assert render_payload(42) == "42"

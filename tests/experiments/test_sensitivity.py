@@ -1,0 +1,86 @@
+"""Tests for the per-layer sensitivity scan."""
+
+import pytest
+
+from repro.data import generate_mnli
+from repro.experiments.sensitivity import (
+    LayerSensitivity,
+    layer_sensitivity_scan,
+    sensitive_components,
+)
+from repro.models import build_model
+from repro.training import Trainer
+from tests.conftest import MICRO_CONFIG
+
+
+@pytest.fixture(scope="module")
+def trained():
+    splits = generate_mnli(num_train=128, num_eval=64, rng=0)
+    model = build_model(MICRO_CONFIG, task="classification", num_labels=3, rng=1)
+    Trainer(model, lr=2e-3, batch_size=16, rng=2).fit(splits.train, epochs=3)
+    probe = build_model(MICRO_CONFIG, task="classification", num_labels=3, rng=9)
+    return model, probe, splits.eval
+
+
+class TestLayerSensitivityScan:
+    def test_scans_selected_layers(self, trained):
+        model, probe, eval_data = trained
+        layers = (
+            "bert.encoder.0.attention.value.weight",
+            "bert.encoder.0.intermediate.weight",
+            "bert.pooler.weight",
+        )
+        results = layer_sensitivity_scan(model, probe, eval_data, bits=2, layers=layers)
+        assert {r.layer for r in results} == set(layers)
+
+    def test_sorted_most_sensitive_first(self, trained):
+        model, probe, eval_data = trained
+        layers = tuple(
+            f"bert.encoder.{i}.attention.{c}.weight"
+            for i in range(2)
+            for c in ("query", "value")
+        )
+        results = layer_sensitivity_scan(model, probe, eval_data, bits=2, layers=layers)
+        drops = [r.drop for r in results]
+        assert drops == sorted(drops, reverse=True)
+
+    def test_unknown_layer_rejected(self, trained):
+        model, probe, eval_data = trained
+        with pytest.raises(ValueError):
+            layer_sensitivity_scan(model, probe, eval_data, layers=("nope.weight",))
+
+    def test_scores_within_metric_range(self, trained):
+        model, probe, eval_data = trained
+        results = layer_sensitivity_scan(
+            model, probe, eval_data, bits=2,
+            layers=("bert.encoder.0.output.weight",),
+        )
+        assert 0.0 <= results[0].score <= 1.0
+
+
+class TestSensitiveComponents:
+    def _results(self, drops):
+        return [
+            LayerSensitivity(layer=name, score=1.0 - drop, drop=drop)
+            for name, drop in drops
+        ]
+
+    def test_counts_components_of_top_fraction(self):
+        results = self._results(
+            [
+                ("bert.encoder.0.attention.value.weight", 0.3),
+                ("bert.encoder.3.attention.value.weight", 0.2),
+                ("bert.encoder.1.intermediate.weight", 0.1),
+                ("bert.encoder.2.output.weight", 0.0),
+            ]
+        )
+        counts = sensitive_components(results, top_fraction=0.5)
+        assert counts == {"attention.value": 2}
+
+    def test_pooler_component_name(self):
+        results = self._results([("bert.pooler.weight", 0.5)])
+        assert sensitive_components(results, 1.0) == {"pooler": 1}
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            sensitive_components([], top_fraction=0.0)

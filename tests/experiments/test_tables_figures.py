@@ -1,0 +1,129 @@
+"""Tests for the table/figure runners that need no training."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import (
+    fig1b_distributions,
+    fig1c_weight_scatter,
+    fig2_convergence,
+    fig3_compression_curve,
+    fig3_outlier_census,
+)
+from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
+from repro.experiments.tables import (
+    TableResult,
+    fp32_model_bytes,
+    gobo_model_bytes,
+    q8bert_model_bytes,
+    qbert_model_bytes,
+    table1_architecture,
+    table2_footprint,
+    table7_embeddings,
+)
+from repro.models import get_config
+
+
+class TestStaticTables:
+    def test_table1_renders(self):
+        result = table1_architecture()
+        text = result.render()
+        assert "768 x 768" in text and "1024 x 4096" in text
+
+    def test_table2_matches_paper_numbers(self):
+        text = table2_footprint().render()
+        assert "89.42 MB" in text
+        assert "326.25 MB" in text
+        assert "119.2" in text
+
+    def test_table7_compression_ratios(self):
+        result = table7_embeddings()
+        text = result.render()
+        # Paper: ~10.4x at 3 bits, ~7.9x at 4 bits.
+        assert "10.4" in text and "7.8" in text
+
+    def test_table_result_render_is_aligned(self):
+        result = TableResult("T", ["a", "b"], [["1", "2"]])
+        lines = result.render().splitlines()
+        assert lines[0] == "T"
+
+
+class TestFullScaleAccounting:
+    def test_gobo_model_ratio_matches_paper(self):
+        """Table III: GOBO 3-bit weights + 4-bit embeddings ~ 9.8x."""
+        config = get_config("bert-base")
+        ratio = fp32_model_bytes(config) / gobo_model_bytes(config, 3, 4, 0.001)
+        assert ratio == pytest.approx(9.8, abs=0.3)
+
+    def test_gobo_4bit_ratio(self):
+        config = get_config("bert-base")
+        ratio = fp32_model_bytes(config) / gobo_model_bytes(config, 4, 4, 0.001)
+        assert ratio == pytest.approx(7.9, abs=0.3)
+
+    def test_qbert_ratios_match_paper(self):
+        config = get_config("bert-base")
+        fp32 = fp32_model_bytes(config)
+        assert fp32 / qbert_model_bytes(config, 3) == pytest.approx(7.8, abs=0.3)
+        assert fp32 / qbert_model_bytes(config, 4) == pytest.approx(6.5, abs=0.3)
+
+    def test_q8bert_ratio_is_4x(self):
+        config = get_config("bert-base")
+        assert fp32_model_bytes(config) / q8bert_model_bytes(config) == pytest.approx(4.0)
+
+
+class TestFigures:
+    def test_fig1b_layers_are_gaussian(self):
+        distributions = fig1b_distributions("tiny-bert-base", layer_indices=(0, 3))
+        assert len(distributions) == 2
+        for dist in distributions:
+            assert dist.gaussian_overlap > 0.85
+            assert dist.counts.sum() > 0
+
+    def test_fig1b_bad_index_rejected(self):
+        with pytest.raises(IndexError):
+            fig1b_distributions("tiny-bert-base", layer_indices=(999,))
+
+    def test_fig1c_scatter_flags_fringe(self):
+        scatter = fig1c_weight_scatter("tiny-bert-base", layer_index=2, sample=2000)
+        assert scatter.is_outlier.any()
+        assert scatter.outlier_fraction < 0.05
+        outlier_values = np.abs(scatter.values[scatter.is_outlier])
+        inlier_values = np.abs(scatter.values[~scatter.is_outlier])
+        assert outlier_values.min() > inlier_values.max() * 0.9
+
+    def test_fig2_convergence_claims(self):
+        comparison = fig2_convergence(layer_shape=(128, 128), bits=3)
+        assert comparison.speedup > 3.0
+        assert comparison.gobo_final_l1 <= comparison.kmeans_final_l1 * 1.01
+        assert comparison.gobo_trace.iterations < comparison.kmeans_trace.iterations
+
+    def test_fig3_census_shape(self):
+        census = fig3_outlier_census("tiny-bert-base")
+        config = get_config("tiny-bert-base")
+        assert len(census) == config.num_fc_layers
+        fractions = [fraction for _, fraction in census]
+        assert all(0.0 <= f < 0.02 for f in fractions)
+
+    def test_fig3_compression_curve_monotone(self):
+        curves = fig3_compression_curve(bits_list=(3,), weight_counts=(16, 1024, 1 << 20))
+        ratios = [r for _, r in curves[3]]
+        assert ratios == sorted(ratios)
+        assert ratios[-1] == pytest.approx(32 / 3, rel=0.01)
+
+
+class TestRegistry:
+    def test_all_paper_targets_present(self):
+        for identifier in ("table1", "table2", "table3", "table4", "table5",
+                           "table6", "table7", "fig1b", "fig1c", "fig2", "fig3", "fig4"):
+            assert identifier in EXPERIMENTS
+
+    def test_get_experiment(self):
+        assert get_experiment("table1").runner is table1_architecture
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            get_experiment("table99")
+
+    def test_list_sorted(self):
+        listed = list_experiments()
+        assert listed == sorted(listed)

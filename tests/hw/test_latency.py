@@ -1,0 +1,87 @@
+"""Tests for the roofline latency model."""
+
+import pytest
+
+from repro.hw.latency import gobo_speedup, inference_latency
+from repro.hw.spec import EDGE_NPU, SERVER_ACCELERATOR, HardwareSpec
+from repro.models.config import BERT_BASE, BERT_LARGE
+from tests.conftest import MICRO_CONFIG
+
+
+class TestHardwareSpec:
+    def test_ridge_intensity(self):
+        spec = HardwareSpec("x", flops_per_second=100.0, dram_bytes_per_second=10.0)
+        assert spec.ridge_intensity == 10.0
+
+    def test_invalid_rates(self):
+        with pytest.raises(ValueError):
+            HardwareSpec("x", flops_per_second=0.0, dram_bytes_per_second=1.0)
+
+
+class TestInferenceLatency:
+    def test_bert_is_memory_bound_on_edge(self):
+        """The paper's premise: short sequences make FC layers weight-bound."""
+        report = inference_latency(BERT_BASE, EDGE_NPU, sequence_length=128)
+        assert report.memory_bound_fraction == 1.0
+        assert report.latency_seconds == pytest.approx(report.memory_seconds)
+
+    def test_latency_at_least_max_of_components(self):
+        report = inference_latency(BERT_BASE, EDGE_NPU)
+        assert report.latency_seconds >= report.compute_seconds
+        assert report.latency_seconds >= report.memory_seconds
+
+    def test_larger_model_slower(self):
+        base = inference_latency(BERT_BASE, EDGE_NPU)
+        large = inference_latency(BERT_LARGE, EDGE_NPU)
+        assert large.latency_seconds > 2 * base.latency_seconds
+
+    def test_compression_cuts_memory_time(self):
+        fp32 = inference_latency(BERT_BASE, EDGE_NPU, effective_weight_bits=32.0)
+        gobo = inference_latency(BERT_BASE, EDGE_NPU, effective_weight_bits=3.07)
+        assert gobo.memory_seconds == pytest.approx(
+            fp32.memory_seconds * 3.07 / 32.0, rel=0.01
+        )
+
+    def test_long_sequences_shift_toward_compute(self):
+        short = inference_latency(MICRO_CONFIG, SERVER_ACCELERATOR, sequence_length=8)
+        long = inference_latency(MICRO_CONFIG, SERVER_ACCELERATOR, sequence_length=4096)
+        assert long.memory_bound_fraction <= short.memory_bound_fraction
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            inference_latency(BERT_BASE, EDGE_NPU, sequence_length=0)
+        with pytest.raises(ValueError):
+            inference_latency(BERT_BASE, EDGE_NPU, effective_weight_bits=0)
+
+
+class TestGoboSpeedup:
+    def test_short_sequences_get_full_compression_speedup(self):
+        """At short sequences the FC layers stay memory-bound even after
+        compression, so latency falls by the full ~10.4x traffic cut."""
+        speedup = gobo_speedup(
+            BERT_BASE, EDGE_NPU, sequence_length=16, effective_weight_bits=3.07
+        )
+        assert speedup == pytest.approx(32.0 / 3.07, rel=0.01)
+
+    def test_long_sequences_cap_at_compute_roofline(self):
+        """At seq 128 compression flips layers to compute-bound: the speedup
+        is capped by the roofline, not the compression ratio."""
+        speedup = gobo_speedup(
+            BERT_BASE, EDGE_NPU, sequence_length=128, effective_weight_bits=3.07
+        )
+        assert 1.5 < speedup < 32.0 / 3.07
+
+    def test_speedup_bounded_by_compression_ratio(self):
+        for seq in (8, 32, 128, 512):
+            speedup = gobo_speedup(BERT_BASE, EDGE_NPU, sequence_length=seq)
+            assert 1.0 <= speedup <= 32.0 / 3.07 + 1e-9
+
+    def test_compute_rich_machine_gains_less_or_equal(self):
+        edge = gobo_speedup(BERT_BASE, EDGE_NPU, sequence_length=16)
+        server = gobo_speedup(BERT_BASE, SERVER_ACCELERATOR, sequence_length=16)
+        assert server <= edge + 1e-9
+
+    def test_more_bits_less_speedup(self):
+        s3 = gobo_speedup(BERT_BASE, EDGE_NPU, sequence_length=16, effective_weight_bits=3.07)
+        s4 = gobo_speedup(BERT_BASE, EDGE_NPU, sequence_length=16, effective_weight_bits=4.07)
+        assert s3 > s4 > 1.0

@@ -1,0 +1,39 @@
+"""Tests for the energy model."""
+
+import pytest
+
+from repro.memory.energy import EnergyModel, compression_energy_report
+
+
+class TestEnergyModel:
+    def test_default_ratio_two_orders_of_magnitude(self):
+        # The paper's Section I claim.
+        model = EnergyModel()
+        assert 50 < model.offchip_ratio < 250
+
+    def test_access_energy_additive(self):
+        model = EnergyModel(dram_pj_per_byte=100.0, sram_pj_per_byte=1.0)
+        assert model.access_energy_pj(10, 20) == pytest.approx(1020.0)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel().access_energy_pj(-1)
+
+    def test_invalid_energies_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel(dram_pj_per_byte=0.0)
+
+
+class TestCompressionEnergyReport:
+    def test_saving_tracks_compression(self):
+        report = compression_energy_report(fp32_bytes=1000, compressed_bytes=100)
+        assert report.saving_ratio == pytest.approx(10.0)
+
+    def test_activations_dilute_saving(self):
+        pure = compression_energy_report(1000, 100)
+        diluted = compression_energy_report(1000, 100, activation_bytes=100000)
+        assert diluted.saving_ratio < pure.saving_ratio
+
+    def test_zero_compressed(self):
+        report = compression_energy_report(1000, 0)
+        assert report.saving_ratio == float("inf")

@@ -1,0 +1,49 @@
+"""Tests for the traffic model."""
+
+import pytest
+
+from repro.memory.traffic import compressed_traffic, fp32_traffic
+from repro.models.config import BERT_BASE
+from tests.conftest import MICRO_CONFIG
+
+
+class TestFp32Traffic:
+    def test_weights_dominate(self):
+        """The paper's premise: BERT inference is weight-bound."""
+        traffic = fp32_traffic(BERT_BASE, sequence_length=128)
+        assert traffic.weight_bytes > 10 * traffic.activation_bytes
+        assert traffic.weight_bytes > 10 * traffic.embedding_bytes
+
+    def test_embedding_traffic_scales_with_sequence(self):
+        short = fp32_traffic(MICRO_CONFIG, sequence_length=16)
+        long = fp32_traffic(MICRO_CONFIG, sequence_length=32)
+        assert long.embedding_bytes == 2 * short.embedding_bytes
+        assert long.weight_bytes == short.weight_bytes
+
+    def test_totals_compose(self):
+        traffic = fp32_traffic(MICRO_CONFIG)
+        assert traffic.total_bytes == traffic.offchip_bytes + traffic.activation_bytes
+
+
+class TestCompressedTraffic:
+    def test_weight_reduction_matches_bits(self):
+        base = fp32_traffic(BERT_BASE)
+        compressed = compressed_traffic(BERT_BASE, weight_bits=3.1, embedding_bits=4.0)
+        assert compressed.weight_bytes == pytest.approx(
+            base.weight_bytes * 3.1 / 32, rel=0.01
+        )
+
+    def test_activations_unchanged(self):
+        base = fp32_traffic(BERT_BASE)
+        compressed = compressed_traffic(BERT_BASE, weight_bits=3, embedding_bits=4)
+        assert compressed.activation_bytes == base.activation_bytes
+
+    def test_tenfold_traffic_cut(self):
+        """GOBO's headline: ~10x less off-chip traffic at 3 bits."""
+        base = fp32_traffic(BERT_BASE)
+        compressed = compressed_traffic(BERT_BASE, weight_bits=3.07, embedding_bits=3.07)
+        assert base.offchip_bytes / compressed.offchip_bytes == pytest.approx(10.4, abs=0.3)
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError):
+            compressed_traffic(BERT_BASE, weight_bits=0, embedding_bits=4)

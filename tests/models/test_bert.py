@@ -1,0 +1,100 @@
+"""Tests for the BertModel encoder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.models.bert import BertModel
+from tests.conftest import MICRO_CONFIG
+
+
+@pytest.fixture(scope="module")
+def model():
+    return BertModel(MICRO_CONFIG, rng=0)
+
+
+class TestForward:
+    def test_output_shapes(self, model, rng):
+        ids = rng.integers(0, MICRO_CONFIG.vocab_size, size=(2, 10))
+        sequence, pooled = model(ids)
+        assert sequence.shape == (2, 10, MICRO_CONFIG.hidden_size)
+        assert pooled.shape == (2, MICRO_CONFIG.hidden_size)
+
+    def test_pooled_is_tanh_bounded(self, model, rng):
+        ids = rng.integers(0, MICRO_CONFIG.vocab_size, size=(2, 10))
+        _, pooled = model(ids)
+        assert np.all(np.abs(pooled.data) <= 1.0)
+
+    def test_attention_mask_blocks_padding(self, model, rng):
+        ids = rng.integers(1, MICRO_CONFIG.vocab_size, size=(1, 8))
+        mask = np.array([[1, 1, 1, 1, 0, 0, 0, 0]])
+        seq_a, _ = model(ids, attention_mask=mask)
+        ids_b = ids.copy()
+        ids_b[0, 4:] = (ids[0, 4:] + 1) % MICRO_CONFIG.vocab_size
+        seq_b, _ = model(ids_b, attention_mask=mask)
+        np.testing.assert_allclose(seq_a.data[0, :4], seq_b.data[0, :4], atol=1e-10)
+
+    def test_token_type_ids_change_output(self, model, rng):
+        ids = rng.integers(0, MICRO_CONFIG.vocab_size, size=(1, 6))
+        types = np.zeros((1, 6), dtype=np.int64)
+        types_b = types.copy()
+        types_b[0, 3:] = 1
+        a, _ = model(ids, token_type_ids=types)
+        b, _ = model(ids, token_type_ids=types_b)
+        assert not np.allclose(a.data, b.data)
+
+    def test_sequence_too_long_rejected(self, model, rng):
+        ids = rng.integers(0, MICRO_CONFIG.vocab_size, size=(1, MICRO_CONFIG.max_position + 1))
+        with pytest.raises(ShapeError):
+            model(ids)
+
+    def test_1d_input_rejected(self, model):
+        with pytest.raises(ShapeError):
+            model(np.array([1, 2, 3]))
+
+
+class TestParameterCensus:
+    def test_fc_parameter_names_count(self, model):
+        # num_layers * 6 + pooler, matching the paper's census.
+        expected = MICRO_CONFIG.num_layers * 6 + 1
+        assert len(model.fc_parameter_names()) == expected
+
+    def test_fc_names_exist_in_state_dict(self, model):
+        state = model.state_dict()
+        for name in model.fc_parameter_names():
+            assert name in state
+            assert state[name].ndim == 2
+
+    def test_embedding_names_exist(self, model):
+        state = model.state_dict()
+        for name in model.embedding_parameter_names():
+            assert name in state
+
+    def test_word_table_shape(self, model):
+        state = model.state_dict()
+        table = state["embeddings.word_embeddings.weight"]
+        assert table.shape == (MICRO_CONFIG.vocab_size, MICRO_CONFIG.hidden_size)
+
+
+class TestDeterminism:
+    def test_same_seed_same_weights(self):
+        a = BertModel(MICRO_CONFIG, rng=5)
+        b = BertModel(MICRO_CONFIG, rng=5)
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_different_seeds_differ(self):
+        a = BertModel(MICRO_CONFIG, rng=5)
+        b = BertModel(MICRO_CONFIG, rng=6)
+        assert not np.array_equal(
+            a.embeddings.word_embeddings.weight.data,
+            b.embeddings.word_embeddings.weight.data,
+        )
+
+    def test_layers_have_distinct_weights(self):
+        model = BertModel(MICRO_CONFIG, rng=0)
+        state = model.state_dict()
+        assert not np.array_equal(
+            state["encoder.0.attention.query.weight"],
+            state["encoder.1.attention.query.weight"],
+        )

@@ -1,0 +1,84 @@
+"""Tests for BERT-family configurations."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.models.config import (
+    BERT_BASE,
+    BERT_LARGE,
+    DISTILBERT,
+    ROBERTA_BASE,
+    ROBERTA_LARGE,
+    TINY_COUNTERPART,
+    BertConfig,
+    available_configs,
+    get_config,
+)
+
+
+class TestPaperDimensions:
+    """Table I's exact numbers."""
+
+    def test_bert_base(self):
+        assert BERT_BASE.hidden_size == 768
+        assert BERT_BASE.num_layers == 12
+        assert BERT_BASE.intermediate_size == 3072
+        assert BERT_BASE.vocab_size == 30522
+
+    def test_bert_large(self):
+        assert BERT_LARGE.hidden_size == 1024
+        assert BERT_LARGE.num_layers == 24
+        assert BERT_LARGE.intermediate_size == 4096
+
+    def test_fc_layer_counts(self):
+        # Paper: 73 = 12*6+1 for Base, 145 = 24*6+1 for Large.
+        assert BERT_BASE.num_fc_layers == 73
+        assert BERT_LARGE.num_fc_layers == 145
+
+    def test_distilbert_half_depth(self):
+        assert DISTILBERT.num_layers == BERT_BASE.num_layers // 2
+        assert DISTILBERT.hidden_size == BERT_BASE.hidden_size
+
+    def test_roberta_vocab(self):
+        assert ROBERTA_BASE.vocab_size == 50265
+        assert ROBERTA_LARGE.hidden_size == 1024
+
+
+class TestValidation:
+    def test_indivisible_heads_rejected(self):
+        with pytest.raises(ConfigError):
+            BertConfig("bad", 100, 10, 2, 3, 20)
+
+    def test_nonpositive_field_rejected(self):
+        with pytest.raises(ConfigError):
+            BertConfig("bad", 0, 8, 2, 2, 16)
+
+    def test_scaled_override(self):
+        smaller = BERT_BASE.scaled("half", num_layers=6)
+        assert smaller.num_layers == 6
+        assert smaller.hidden_size == BERT_BASE.hidden_size
+        assert smaller.name == "half"
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_config("bert-base") is BERT_BASE
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError, match="unknown"):
+            get_config("bert-huge")
+
+    def test_all_presets_listed(self):
+        names = available_configs()
+        assert "bert-base" in names and "tiny-roberta" in names
+
+    def test_every_full_scale_model_has_tiny_counterpart(self):
+        for full, tiny in TINY_COUNTERPART.items():
+            assert get_config(full).family == get_config(tiny).family
+
+    def test_tiny_counterparts_preserve_structure(self):
+        tiny_base = get_config(TINY_COUNTERPART["bert-base"])
+        tiny_distil = get_config(TINY_COUNTERPART["distilbert"])
+        assert tiny_distil.num_layers == tiny_base.num_layers // 2
+        tiny_roberta = get_config(TINY_COUNTERPART["roberta-base"])
+        assert tiny_roberta.vocab_size > tiny_base.vocab_size

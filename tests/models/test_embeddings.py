@@ -1,0 +1,72 @@
+"""Tests for BERT input embeddings, incl. the training-noise calibration."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.models.embeddings import BertEmbeddings
+from tests.conftest import MICRO_CONFIG
+
+
+@pytest.fixture
+def ids(rng):
+    return rng.integers(0, MICRO_CONFIG.vocab_size, size=(2, 6))
+
+
+class TestForward:
+    def test_output_shape(self, ids):
+        emb = BertEmbeddings(MICRO_CONFIG, rng=0)
+        assert emb(ids).shape == (2, 6, MICRO_CONFIG.hidden_size)
+
+    def test_layer_normalized(self, ids):
+        emb = BertEmbeddings(MICRO_CONFIG, rng=0)
+        out = emb(ids).data
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros((2, 6)), atol=1e-9)
+
+    def test_position_embeddings_differentiate_positions(self):
+        emb = BertEmbeddings(MICRO_CONFIG, rng=0)
+        same_token = np.full((1, 4), 7)
+        out = emb(same_token).data
+        assert not np.allclose(out[0, 0], out[0, 1])
+
+    def test_1d_rejected(self):
+        emb = BertEmbeddings(MICRO_CONFIG, rng=0)
+        with pytest.raises(ShapeError):
+            emb(np.array([1, 2, 3]))
+
+    def test_too_long_rejected(self, rng):
+        emb = BertEmbeddings(MICRO_CONFIG, rng=0)
+        ids = rng.integers(0, 10, size=(1, MICRO_CONFIG.max_position + 1))
+        with pytest.raises(ShapeError):
+            emb(ids)
+
+
+class TestEmbeddingNoise:
+    def test_noise_active_in_training_mode(self, ids):
+        config = replace(MICRO_CONFIG, embedding_noise_std=0.1)
+        emb = BertEmbeddings(config, rng=0)
+        emb.train()
+        a = emb(ids).data
+        b = emb(ids).data
+        assert not np.allclose(a, b)
+
+    def test_noise_silent_in_eval_mode(self, ids):
+        config = replace(MICRO_CONFIG, embedding_noise_std=0.1)
+        emb = BertEmbeddings(config, rng=0)
+        emb.eval()
+        np.testing.assert_array_equal(emb(ids).data, emb(ids).data)
+
+    def test_zero_noise_deterministic_in_training(self, ids):
+        config = replace(MICRO_CONFIG, embedding_noise_std=0.0)
+        emb = BertEmbeddings(config, rng=0)
+        emb.train()
+        np.testing.assert_array_equal(emb(ids).data, emb(ids).data)
+
+    def test_gradients_flow_through_noise(self, ids):
+        config = replace(MICRO_CONFIG, embedding_noise_std=0.05)
+        emb = BertEmbeddings(config, rng=0)
+        emb.train()
+        emb(ids).sum().backward()
+        assert emb.word_embeddings.weight.grad is not None

@@ -1,0 +1,79 @@
+"""Tests for the parameter census and Table I/II numbers."""
+
+import pytest
+
+from repro.models.config import BERT_BASE, BERT_LARGE
+from repro.models.footprint import (
+    MIB,
+    architecture_table,
+    embedding_table_count,
+    fc_weight_count,
+    memory_footprint,
+    total_parameter_count,
+)
+
+
+class TestPaperNumbers:
+    """The footprint numbers the paper reports in Table II."""
+
+    def test_bert_base_embedding_mib(self):
+        mib = embedding_table_count(BERT_BASE) * 4 / MIB
+        assert mib == pytest.approx(89.42, abs=0.01)
+
+    def test_bert_large_embedding_mib(self):
+        mib = embedding_table_count(BERT_LARGE) * 4 / MIB
+        assert mib == pytest.approx(119.22, abs=0.01)
+
+    def test_bert_base_weights_mib(self):
+        mib = fc_weight_count(BERT_BASE) * 4 / MIB
+        assert mib == pytest.approx(326.25, abs=0.05)
+
+    def test_bert_large_weights_gb(self):
+        gb = fc_weight_count(BERT_LARGE) * 4 / (1 << 30)
+        assert gb == pytest.approx(1.12, abs=0.02)
+
+    def test_total_parameters_match_paper(self):
+        # Paper: 110M (Base), 340M (Large).
+        assert total_parameter_count(BERT_BASE) / 1e6 == pytest.approx(110, abs=2)
+        assert total_parameter_count(BERT_LARGE) / 1e6 == pytest.approx(340, abs=5)
+
+
+class TestMemoryFootprint:
+    def test_input_bytes_per_word(self):
+        fp = memory_footprint(BERT_BASE)
+        assert fp.input_bytes_per_word == 768 * 4  # 3 KB
+
+    def test_activation_bytes(self):
+        fp = memory_footprint(BERT_BASE, sequence_length=128)
+        assert fp.activation_bytes == 3072 * 4 * 128  # 1.5 MB
+        assert fp.activation_mib == pytest.approx(1.5)
+
+    def test_bert_large_activations(self):
+        fp = memory_footprint(BERT_LARGE, sequence_length=128)
+        assert fp.activation_mib == pytest.approx(2.0)
+
+    def test_total_bytes_composition(self):
+        fp = memory_footprint(BERT_BASE)
+        assert fp.total_bytes == fp.embedding_bytes + fp.weight_bytes + fp.activation_bytes
+
+    def test_invalid_sequence_length(self):
+        with pytest.raises(ValueError):
+            memory_footprint(BERT_BASE, sequence_length=0)
+
+
+class TestArchitectureTable:
+    def test_component_inventory(self):
+        table = architecture_table(BERT_BASE)
+        components = {spec.component: spec for spec in table}
+        assert components["Attention"].count_per_layer == 4
+        assert components["Attention"].rows == 768
+        assert components["Intermediate"].cols == 3072
+        assert components["Output"].rows == 3072
+
+    def test_params_per_layer_sum(self):
+        table = architecture_table(BERT_BASE)
+        per_layer = sum(
+            spec.params_per_layer for spec in table if spec.component != "Pooler"
+        )
+        pooler = next(s for s in table if s.component == "Pooler").params_per_layer
+        assert per_layer * 12 + pooler == fc_weight_count(BERT_BASE)

@@ -1,0 +1,63 @@
+"""Tests for the task heads."""
+
+import numpy as np
+import pytest
+
+from repro.models.heads import (
+    BertForRegression,
+    BertForSequenceClassification,
+    BertForSpanPrediction,
+)
+from tests.conftest import MICRO_CONFIG
+
+
+@pytest.fixture
+def ids(rng):
+    return rng.integers(0, MICRO_CONFIG.vocab_size, size=(3, 8))
+
+
+class TestClassification:
+    def test_logit_shape(self, ids):
+        model = BertForSequenceClassification(MICRO_CONFIG, num_labels=3, rng=0)
+        assert model(ids).shape == (3, 3)
+
+    def test_predict_returns_classes(self, ids):
+        model = BertForSequenceClassification(MICRO_CONFIG, num_labels=5, rng=0)
+        preds = model.predict(ids)
+        assert preds.shape == (3,)
+        assert np.all((preds >= 0) & (preds < 5))
+
+    def test_gradients_flow_to_bert(self, ids):
+        model = BertForSequenceClassification(MICRO_CONFIG, num_labels=3, rng=0)
+        model(ids).sum().backward()
+        assert model.bert.pooler.weight.grad is not None
+
+
+class TestRegression:
+    def test_prediction_shape(self, ids):
+        model = BertForRegression(MICRO_CONFIG, rng=0)
+        assert model(ids).shape == (3,)
+
+    def test_predict_copies(self, ids):
+        model = BertForRegression(MICRO_CONFIG, rng=0)
+        preds = model.predict(ids)
+        preds[:] = 0
+        assert not np.array_equal(preds, model.predict(ids))
+
+
+class TestSpan:
+    def test_logit_shapes(self, ids):
+        model = BertForSpanPrediction(MICRO_CONFIG, rng=0)
+        start, end = model(ids)
+        assert start.shape == (3, 8) and end.shape == (3, 8)
+
+    def test_predict_spans_ordered(self, ids):
+        model = BertForSpanPrediction(MICRO_CONFIG, rng=0)
+        spans = model.predict(ids)
+        assert spans.shape == (3, 2)
+        assert np.all(spans[:, 1] >= spans[:, 0])
+
+    def test_spans_within_sequence(self, ids):
+        model = BertForSpanPrediction(MICRO_CONFIG, rng=0)
+        spans = model.predict(ids)
+        assert np.all((spans >= 0) & (spans < 8))

@@ -1,0 +1,48 @@
+"""Tests for per-layer synthetic weight profiles."""
+
+import numpy as np
+import pytest
+
+from repro.models.zoo import (
+    SyntheticWeightSpec,
+    layer_spec_for,
+    synthetic_layer_for,
+    synthetic_model_weights,
+)
+from tests.conftest import MICRO_CONFIG
+
+
+class TestLayerSpecFor:
+    def test_stds_vary_across_layers(self):
+        stds = {
+            layer_spec_for(MICRO_CONFIG, position).std
+            for position in range(MICRO_CONFIG.num_fc_layers)
+        }
+        assert len(stds) > 3
+
+    def test_last_layer_has_bigger_fringe(self):
+        last = layer_spec_for(MICRO_CONFIG, MICRO_CONFIG.num_fc_layers - 1)
+        first = layer_spec_for(MICRO_CONFIG, 0)
+        assert last.outlier_fraction > first.outlier_fraction
+
+    def test_base_spec_respected(self):
+        base = SyntheticWeightSpec(outlier_fraction=0.005)
+        spec = layer_spec_for(MICRO_CONFIG, 0, base)
+        assert spec.outlier_fraction == 0.005
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(IndexError):
+            layer_spec_for(MICRO_CONFIG, MICRO_CONFIG.num_fc_layers)
+
+
+class TestSyntheticLayerFor:
+    def test_matches_model_generator(self):
+        from_generator = dict(synthetic_model_weights(MICRO_CONFIG, rng=0))
+        for position in (0, 3, MICRO_CONFIG.num_fc_layers - 1):
+            name, weights = synthetic_layer_for(MICRO_CONFIG, position, rng=0)
+            np.testing.assert_array_equal(weights, from_generator[name])
+
+    def test_accepts_config_name(self):
+        name, weights = synthetic_layer_for("tiny-bert-base", 0)
+        assert name == "encoder.0.attention.query.weight"
+        assert weights.ndim == 2

@@ -1,0 +1,122 @@
+"""Tests for the model zoo and synthetic weight generation."""
+
+import numpy as np
+import pytest
+
+from repro.models.bert import BertModel
+from repro.models.config import BERT_BASE
+from repro.models.footprint import fc_weight_count
+from repro.models.heads import BertForSequenceClassification
+from repro.models.zoo import (
+    SyntheticWeightSpec,
+    build_model,
+    embedding_shapes,
+    fc_layer_shapes,
+    synthetic_layer_weights,
+    synthetic_model_weights,
+)
+from repro.stats import gaussian_overlap, summarize_weights
+from tests.conftest import MICRO_CONFIG
+
+
+class TestBuildModel:
+    def test_encoder(self):
+        assert isinstance(build_model(MICRO_CONFIG, "encoder"), BertModel)
+
+    def test_classification(self):
+        model = build_model(MICRO_CONFIG, "classification", num_labels=4)
+        assert isinstance(model, BertForSequenceClassification)
+        assert model.num_labels == 4
+
+    def test_by_name(self):
+        model = build_model("tiny-bert-base", "regression")
+        assert model.config.name == "tiny-bert-base"
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(ValueError):
+            build_model(MICRO_CONFIG, "translation")
+
+
+class TestFcLayerShapes:
+    def test_bert_base_has_73_layers(self):
+        assert len(fc_layer_shapes(BERT_BASE)) == 73
+
+    def test_total_weight_count_matches_census(self):
+        total = sum(r * c for _, (r, c) in fc_layer_shapes(BERT_BASE))
+        assert total == fc_weight_count(BERT_BASE)
+
+    def test_order_ends_with_pooler(self):
+        assert fc_layer_shapes(BERT_BASE)[-1][0] == "pooler.weight"
+
+    def test_names_match_model_parameters(self):
+        model = BertModel(MICRO_CONFIG, rng=0)
+        zoo_names = [name for name, _ in fc_layer_shapes(MICRO_CONFIG)]
+        assert zoo_names == model.fc_parameter_names()
+
+    def test_embedding_shapes(self):
+        names = [name for name, _ in embedding_shapes(MICRO_CONFIG)]
+        assert names == BertModel(MICRO_CONFIG, rng=0).embedding_parameter_names()
+
+
+class TestSyntheticWeights:
+    def test_shape_and_dtype(self):
+        weights = synthetic_layer_weights((64, 32), rng=0)
+        assert weights.shape == (64, 32)
+        assert weights.dtype == np.float32
+
+    def test_gaussian_bulk(self):
+        weights = synthetic_layer_weights((500, 500), SyntheticWeightSpec(std=0.04), rng=0)
+        assert gaussian_overlap(weights) > 0.9
+        assert summarize_weights(weights).std == pytest.approx(0.04, rel=0.15)
+
+    def test_outlier_fraction_planted(self):
+        spec = SyntheticWeightSpec(outlier_fraction=0.01)
+        weights = synthetic_layer_weights((300, 300), spec, rng=0)
+        # Outliers live beyond outlier_lo_sigma of the nominal std.
+        fringe = np.abs(weights) > 4.0 * spec.std
+        assert fringe.mean() == pytest.approx(0.01, rel=0.25)
+
+    def test_heavy_tail_raises_kurtosis(self):
+        spec = SyntheticWeightSpec(outlier_fraction=0.005)
+        weights = synthetic_layer_weights((300, 300), spec, rng=0)
+        assert summarize_weights(weights).excess_kurtosis > 0.3
+
+    def test_deterministic(self):
+        a = synthetic_layer_weights((10, 10), rng=3)
+        b = synthetic_layer_weights((10, 10), rng=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticWeightSpec(outlier_fraction=1.5)
+        with pytest.raises(ValueError):
+            SyntheticWeightSpec(std=0.0)
+        with pytest.raises(ValueError):
+            SyntheticWeightSpec(outlier_lo_sigma=5.0, outlier_hi_sigma=4.0)
+
+
+class TestSyntheticModelWeights:
+    def test_yields_every_fc_layer(self):
+        layers = list(synthetic_model_weights(MICRO_CONFIG, rng=0))
+        assert len(layers) == MICRO_CONFIG.num_fc_layers
+
+    def test_shapes_match_census(self):
+        for (name, weights), (expected_name, shape) in zip(
+            synthetic_model_weights(MICRO_CONFIG, rng=0), fc_layer_shapes(MICRO_CONFIG)
+        ):
+            assert name == expected_name
+            assert weights.shape == shape
+
+    def test_include_embeddings(self):
+        layers = list(synthetic_model_weights(MICRO_CONFIG, rng=0, include_embeddings=True))
+        assert len(layers) == MICRO_CONFIG.num_fc_layers + 3
+
+    def test_per_layer_stds_vary(self):
+        stds = [w.std() for _, w in synthetic_model_weights(MICRO_CONFIG, rng=0)]
+        assert max(stds) / min(stds) > 1.2
+
+    def test_deterministic_per_layer(self):
+        a = dict(synthetic_model_weights(MICRO_CONFIG, rng=0))
+        b = dict(synthetic_model_weights(MICRO_CONFIG, rng=0))
+        for name in a:
+            np.testing.assert_array_equal(a[name], b[name])

@@ -1,0 +1,91 @@
+"""Tests for Linear, Embedding, LayerNorm, Dropout layers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.layers import Dropout, Embedding, LayerNorm, Linear
+from repro.nn.tensor import Tensor
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        layer = Linear(8, 3, rng=0)
+        out = layer(Tensor(rng.normal(size=(4, 8))))
+        assert out.shape == (4, 3)
+
+    def test_batched_input(self, rng):
+        layer = Linear(8, 3, rng=0)
+        out = layer(Tensor(rng.normal(size=(2, 5, 8))))
+        assert out.shape == (2, 5, 3)
+
+    def test_matches_manual_computation(self, rng):
+        layer = Linear(4, 2, rng=0)
+        x = rng.normal(size=(3, 4))
+        expected = x @ layer.weight.data.T + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected)
+
+    def test_weight_convention_out_by_in(self):
+        assert Linear(5, 7, rng=0).weight.shape == (7, 5)
+
+    def test_init_std_respected(self):
+        layer = Linear(200, 200, rng=0, init_std=0.1)
+        assert layer.weight.data.std() == pytest.approx(0.1, rel=0.05)
+
+    def test_bias_initialized_zero(self):
+        assert np.all(Linear(3, 3, rng=0).bias.data == 0)
+
+    def test_wrong_input_dim_rejected(self, rng):
+        with pytest.raises(ShapeError):
+            Linear(4, 2, rng=0)(Tensor(rng.normal(size=(3, 5))))
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ShapeError):
+            Linear(0, 3)
+
+    def test_gradients_flow(self, rng):
+        layer = Linear(4, 2, rng=0)
+        layer(Tensor(rng.normal(size=(3, 4)))).sum().backward()
+        assert layer.weight.grad is not None and layer.bias.grad is not None
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        emb = Embedding(10, 6, rng=0)
+        assert emb(np.array([[1, 2, 3]])).shape == (1, 3, 6)
+
+    def test_deterministic_per_seed(self):
+        a, b = Embedding(10, 4, rng=3), Embedding(10, 4, rng=3)
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ShapeError):
+            Embedding(10, 0)
+
+
+class TestLayerNorm:
+    def test_normalizes_last_axis(self, rng):
+        norm = LayerNorm(8)
+        out = norm(Tensor(rng.normal(5.0, 3.0, size=(4, 8)))).data
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros(4), atol=1e-9)
+
+    def test_affine_params_learnable(self):
+        norm = LayerNorm(4)
+        assert norm.weight.requires_grad and norm.bias.requires_grad
+
+
+class TestDropout:
+    def test_eval_mode_identity(self, rng):
+        drop = Dropout(0.5, rng=0)
+        drop.eval()
+        x = Tensor(rng.normal(size=(3, 3)))
+        assert drop(x) is x
+
+    def test_train_mode_zeroes_entries(self):
+        drop = Dropout(0.5, rng=0)
+        out = drop(Tensor(np.ones((50, 50))))
+        assert (out.data == 0).any()
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)

@@ -1,0 +1,106 @@
+"""Tests for Module/Parameter registration and state dicts."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear
+from repro.nn.module import Module, ModuleList, Parameter
+
+
+class Block(Module):
+    def __init__(self):
+        super().__init__()
+        self.inner = Linear(4, 4, rng=0)
+        self.scale = Parameter(np.ones(4))
+
+
+class Net(Module):
+    def __init__(self):
+        super().__init__()
+        self.block = Block()
+        self.layers = ModuleList([Linear(4, 4, rng=i) for i in range(3)])
+
+
+class TestRegistration:
+    def test_named_parameters_dotted_paths(self):
+        names = {name for name, _ in Net().named_parameters()}
+        assert "block.inner.weight" in names
+        assert "block.scale" in names
+        assert "layers.2.bias" in names
+
+    def test_num_parameters(self):
+        net = Net()
+        expected = sum(p.size for p in net.parameters())
+        assert net.num_parameters() == expected
+
+    def test_named_modules(self):
+        names = {name for name, _ in Net().named_modules()}
+        assert "" in names and "block" in names and "layers.1" in names
+
+    def test_module_list_iteration(self):
+        net = Net()
+        assert len(net.layers) == 3
+        assert [m for m in net.layers][0] is net.layers[0]
+
+
+class TestStateDict:
+    def test_round_trip(self):
+        a, b = Net(), Net()
+        b.load_state_dict(a.state_dict())
+        for (name_a, pa), (name_b, pb) in zip(a.named_parameters(), b.named_parameters()):
+            assert name_a == name_b
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_state_dict_is_a_copy(self):
+        net = Net()
+        state = net.state_dict()
+        state["block.scale"][:] = 99.0
+        assert not np.any(net.block.scale.data == 99.0)
+
+    def test_load_is_a_copy(self):
+        net = Net()
+        state = net.state_dict()
+        net.load_state_dict(state)
+        state["block.scale"][:] = 99.0
+        assert not np.any(net.block.scale.data == 99.0)
+
+    def test_missing_key_rejected(self):
+        net = Net()
+        state = net.state_dict()
+        del state["block.scale"]
+        with pytest.raises(KeyError, match="missing"):
+            net.load_state_dict(state)
+
+    def test_unexpected_key_rejected(self):
+        net = Net()
+        state = net.state_dict()
+        state["bogus"] = np.zeros(1)
+        with pytest.raises(KeyError, match="unexpected"):
+            net.load_state_dict(state)
+
+    def test_shape_mismatch_rejected(self):
+        net = Net()
+        state = net.state_dict()
+        state["block.scale"] = np.zeros(5)
+        with pytest.raises(ValueError, match="shape mismatch"):
+            net.load_state_dict(state)
+
+
+class TestModes:
+    def test_train_eval_propagate(self):
+        net = Net()
+        net.eval()
+        assert not net.block.training and not net.layers[1].training
+        net.train()
+        assert net.block.training and net.layers[1].training
+
+    def test_zero_grad_clears_all(self):
+        net = Net()
+        for p in net.parameters():
+            p.grad = np.ones_like(p.data)
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)

@@ -1,0 +1,73 @@
+"""Tests for Q8BERT-style activation quantization."""
+
+import numpy as np
+import pytest
+
+from repro.data import generate_mnli
+from repro.models import build_model
+from repro.nn.layers import Linear
+from repro.nn.tensor import Tensor
+from repro.quant import (
+    disable_activation_quantization,
+    enable_activation_quantization,
+)
+from repro.training import Trainer, evaluate
+from tests.conftest import MICRO_CONFIG
+
+
+class TestLinearHook:
+    def test_hook_changes_inference_output(self, rng):
+        layer = Linear(8, 4, rng=0)
+        layer.eval()
+        x = Tensor(rng.normal(size=(3, 8)))
+        clean = layer(x).data.copy()
+        enable_activation_quantization(layer, bits=2)  # very coarse
+        quantized = layer(x).data
+        assert not np.allclose(clean, quantized)
+
+    def test_hook_inactive_in_training_mode(self, rng):
+        layer = Linear(8, 4, rng=0)
+        enable_activation_quantization(layer, bits=2)
+        layer.train()
+        x = Tensor(rng.normal(size=(3, 8)))
+        reference = Linear(8, 4, rng=0)
+        reference.train()
+        np.testing.assert_allclose(layer(x).data, reference(x).data)
+
+    def test_8bit_error_is_small(self, rng):
+        layer = Linear(8, 4, rng=0)
+        layer.eval()
+        x = Tensor(rng.normal(size=(3, 8)))
+        clean = layer(x).data.copy()
+        enable_activation_quantization(layer, bits=8)
+        quantized = layer(x).data
+        assert np.abs(clean - quantized).max() < 0.01
+
+    def test_disable_restores_exact_output(self, rng):
+        layer = Linear(8, 4, rng=0)
+        layer.eval()
+        x = Tensor(rng.normal(size=(3, 8)))
+        clean = layer(x).data.copy()
+        enable_activation_quantization(layer, bits=4)
+        removed = disable_activation_quantization(layer)
+        assert removed == 1
+        np.testing.assert_array_equal(layer(x).data, clean)
+
+
+class TestModelLevel:
+    def test_instruments_every_linear(self):
+        model = build_model(MICRO_CONFIG, task="classification", num_labels=3, rng=0)
+        count = enable_activation_quantization(model, bits=8)
+        # 6 FC per encoder layer + pooler + classifier.
+        assert count == MICRO_CONFIG.num_layers * 6 + 2
+
+    def test_8bit_activations_keep_accuracy(self):
+        splits = generate_mnli(num_train=96, num_eval=48, rng=0)
+        model = build_model(MICRO_CONFIG, task="classification", num_labels=3, rng=1)
+        Trainer(model, lr=2e-3, batch_size=16, rng=2).fit(splits.train, epochs=3)
+        baseline = evaluate(model, splits.eval)
+        enable_activation_quantization(model, bits=8)
+        quantized = evaluate(model, splits.eval)
+        assert abs(quantized - baseline) <= 0.05
+        disable_activation_quantization(model)
+        assert evaluate(model, splits.eval) == pytest.approx(baseline)

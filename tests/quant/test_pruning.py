@@ -1,0 +1,87 @@
+"""Tests for magnitude pruning and the prune+GOBO composition."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QuantizationError
+from repro.quant.pruning import (
+    magnitude_prune,
+    prune_then_quantize,
+    pruned_storage,
+)
+
+
+@pytest.fixture
+def weights(rng):
+    return rng.normal(0, 0.04, size=(100, 100))
+
+
+class TestMagnitudePrune:
+    def test_target_sparsity_achieved(self, weights):
+        pruned = magnitude_prune(weights, 0.4)
+        sparsity = 1.0 - np.count_nonzero(pruned) / pruned.size
+        assert sparsity == pytest.approx(0.4, abs=0.01)
+
+    def test_smallest_magnitudes_removed(self, weights):
+        pruned = magnitude_prune(weights, 0.3)
+        zeroed = weights[pruned == 0.0]
+        kept = weights[pruned != 0.0]
+        assert np.abs(zeroed).max() <= np.abs(kept).min() + 1e-12
+
+    def test_survivors_unchanged(self, weights):
+        pruned = magnitude_prune(weights, 0.3)
+        mask = pruned != 0.0
+        np.testing.assert_array_equal(pruned[mask], weights[mask])
+
+    def test_zero_sparsity_is_identity(self, weights):
+        np.testing.assert_array_equal(magnitude_prune(weights, 0.0), weights)
+
+    def test_invalid_sparsity(self, weights):
+        with pytest.raises(QuantizationError):
+            magnitude_prune(weights, 1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(QuantizationError):
+            magnitude_prune(np.array([]), 0.5)
+
+
+class TestPrunedStorage:
+    def test_ratio_at_paper_sparsity(self, weights):
+        """30-40% pruning compresses far less than GOBO's ~10x — the paper's
+        argument that pruning alone cannot match it."""
+        report = pruned_storage(magnitude_prune(weights, 0.4))
+        assert 1.3 < report.compression_ratio < 1.7
+
+    def test_ninety_percent_needed_for_tenfold(self, weights):
+        report = pruned_storage(magnitude_prune(weights, 0.9))
+        assert report.compression_ratio > 7.0
+
+    def test_bitmap_accounted(self):
+        report = pruned_storage(np.zeros(64))
+        assert report.compressed_bytes == 8  # 64-bit bitmap, no values
+
+
+class TestPruneThenQuantize:
+    def test_zeros_represented_exactly(self, weights):
+        quantized, pruned = prune_then_quantize(weights, sparsity=0.4, bits=3)
+        restored = quantized.dequantize()
+        np.testing.assert_array_equal(restored[pruned == 0.0], 0.0)
+
+    def test_survivor_error_comparable_to_plain_gobo(self, weights):
+        quantized, pruned = prune_then_quantize(weights, sparsity=0.3, bits=3)
+        restored = quantized.dequantize()
+        mask = pruned != 0.0
+        survivor_error = np.abs(restored[mask] - pruned[mask]).mean()
+        assert survivor_error < 0.02
+
+    def test_composition_keeps_gobo_compression(self, weights):
+        quantized, _ = prune_then_quantize(weights, sparsity=0.4, bits=3)
+        assert quantized.compression_ratio() > 9.0
+
+    def test_higher_sparsity_lower_reconstruction_error(self, weights):
+        """More zeros -> more probability mass exactly on a centroid."""
+        dense_q, dense_p = prune_then_quantize(weights, 0.0, bits=3)
+        sparse_q, sparse_p = prune_then_quantize(weights, 0.6, bits=3)
+        dense_err = np.abs(dense_q.dequantize() - dense_p).mean()
+        sparse_err = np.abs(sparse_q.dequantize() - sparse_p).mean()
+        assert sparse_err < dense_err

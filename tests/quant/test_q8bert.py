@@ -1,0 +1,101 @@
+"""Tests for the Q8BERT-like fixed-point baseline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QuantizationError
+from repro.models.heads import BertForSequenceClassification
+from repro.core.model_quantizer import select_parameters
+from repro.quant.q8bert import (
+    Q8BertQuantizer,
+    fake_quantize_model,
+    symmetric_dequantize,
+    symmetric_quantize,
+)
+from tests.conftest import MICRO_CONFIG
+
+
+class TestSymmetricQuantize:
+    def test_round_trip_error_bounded(self, rng):
+        values = rng.normal(0, 0.05, size=10000)
+        codes, scale = symmetric_quantize(values, bits=8)
+        restored = symmetric_dequantize(codes, scale)
+        assert np.abs(restored - values).max() <= scale / 2 + 1e-12
+
+    def test_codes_within_signed_range(self, rng):
+        codes, _ = symmetric_quantize(rng.normal(size=1000), bits=8)
+        assert codes.min() >= -128 and codes.max() <= 127
+
+    def test_extreme_value_exactly_representable(self):
+        values = np.array([-0.5, 0.25, 0.5])
+        codes, scale = symmetric_quantize(values, bits=8)
+        restored = symmetric_dequantize(codes, scale)
+        assert restored[2] == pytest.approx(0.5)
+
+    def test_all_zero_tensor(self):
+        codes, scale = symmetric_quantize(np.zeros(10), bits=8)
+        assert np.all(codes == 0) and scale == 1.0
+
+    def test_fewer_bits_more_error(self, rng):
+        values = rng.normal(size=5000)
+        errors = []
+        for bits in (4, 6, 8):
+            codes, scale = symmetric_quantize(values, bits)
+            errors.append(np.abs(symmetric_dequantize(codes, scale) - values).mean())
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_empty_rejected(self):
+        with pytest.raises(QuantizationError):
+            symmetric_quantize(np.array([]))
+
+    def test_invalid_bits(self):
+        with pytest.raises(QuantizationError):
+            symmetric_quantize(np.ones(4), bits=1)
+
+
+class TestQ8BertQuantizer:
+    @pytest.fixture(scope="class")
+    def compressed(self):
+        model = BertForSequenceClassification(MICRO_CONFIG, num_labels=3, rng=0)
+        selection = select_parameters(model)
+        return (
+            model,
+            Q8BertQuantizer().compress(
+                model.state_dict(), selection.fc_names, selection.embedding_names
+            ),
+        )
+
+    def test_compression_ratio_near_4x(self, compressed):
+        # Exactly 4x asymptotically; micro tensors pay a tiny scale overhead.
+        _, result = compressed
+        assert result.compression_ratio() == pytest.approx(4.0, rel=0.05)
+
+    def test_reconstruction_close(self, compressed):
+        model, result = compressed
+        state = model.state_dict()
+        for name, tensor in result.tensors.items():
+            error = np.abs(tensor.reconstructed - state[name]).mean()
+            assert error < 0.01, name
+
+    def test_state_dict_loadable(self, compressed):
+        model, result = compressed
+        probe = BertForSequenceClassification(MICRO_CONFIG, num_labels=3, rng=1)
+        probe.load_state_dict(result.state_dict())
+
+    def test_missing_tensor_rejected(self):
+        with pytest.raises(QuantizationError):
+            Q8BertQuantizer().compress({}, ("nope",), ())
+
+
+class TestFakeQuantize:
+    def test_only_selected_names_touched(self, rng):
+        state = {"a": rng.normal(size=100), "b": rng.normal(size=100)}
+        out = fake_quantize_model(state, ("a",), bits=4)
+        assert not np.array_equal(out["a"], state["a"])
+        np.testing.assert_array_equal(out["b"], state["b"])
+
+    def test_idempotent(self, rng):
+        state = {"a": rng.normal(size=100)}
+        once = fake_quantize_model(state, ("a",), bits=8)
+        twice = fake_quantize_model(once, ("a",), bits=8)
+        np.testing.assert_allclose(once["a"], twice["a"])

@@ -1,0 +1,81 @@
+"""Tests for the Q-BERT-like group-wise dictionary baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.model_quantizer import select_parameters
+from repro.errors import QuantizationError
+from repro.models.heads import BertForSequenceClassification
+from repro.quant.qbert import QBertQuantizer, quantize_groupwise
+from tests.conftest import MICRO_CONFIG
+
+
+class TestQuantizeGroupwise:
+    def test_reconstruction_shape(self, rng):
+        values = rng.normal(size=(40, 25))
+        reconstructed, _ = quantize_groupwise(values, bits=3, num_groups=8)
+        assert reconstructed.shape == (40, 25)
+
+    def test_more_groups_lower_error(self, rng):
+        # A piecewise-shifting distribution benefits from local dictionaries.
+        values = np.concatenate(
+            [rng.normal(loc, 0.01, 2500) for loc in (-0.3, -0.1, 0.1, 0.3)]
+        )
+        r1, _ = quantize_groupwise(values, bits=2, num_groups=1)
+        r8, _ = quantize_groupwise(values, bits=2, num_groups=8)
+        assert np.abs(r8 - values).mean() < np.abs(r1 - values).mean()
+
+    def test_byte_cost_includes_dictionaries(self, rng):
+        values = rng.normal(size=1024)
+        _, nbytes = quantize_groupwise(values, bits=3, num_groups=4)
+        expected = (1024 * 3 + 7) // 8 + 4 * 8 * 4
+        # Per-group index packing rounds up per group.
+        assert abs(nbytes - expected) <= 4
+
+    def test_more_values_than_groups_not_required(self, rng):
+        reconstructed, _ = quantize_groupwise(rng.normal(size=5), bits=2, num_groups=100)
+        assert reconstructed.shape == (5,)
+
+    def test_invalid_groups_rejected(self, rng):
+        with pytest.raises(QuantizationError):
+            quantize_groupwise(rng.normal(size=10), bits=3, num_groups=0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(QuantizationError):
+            quantize_groupwise(np.array([]), bits=3, num_groups=4)
+
+
+class TestQBertQuantizer:
+    @pytest.fixture(scope="class")
+    def compressed(self):
+        model = BertForSequenceClassification(MICRO_CONFIG, num_labels=3, rng=0)
+        selection = select_parameters(model)
+        quantizer = QBertQuantizer(weight_bits=3, num_groups=8)
+        return model, quantizer.compress(
+            model.state_dict(), selection.fc_names, selection.embedding_names
+        )
+
+    def test_embeddings_quantized_at_8_bits(self, compressed):
+        model, result = compressed
+        state = model.state_dict()
+        name = "bert.embeddings.word_embeddings.weight"
+        error = np.abs(result.tensors[name].reconstructed - state[name]).max()
+        # 8-bit symmetric rounding error is half a scale step.
+        scale = np.abs(state[name]).max() / 127
+        assert error <= scale / 2 + 1e-12
+
+    def test_compression_ratio_between_q8_and_gobo(self, compressed):
+        # 3-bit weights + 8-bit embeddings + dictionaries. Micro layers pay
+        # proportionally more dictionary overhead than real BERT (where the
+        # ratio is ~7.8x), so the lower bound here is loose.
+        _, result = compressed
+        assert 2.5 < result.compression_ratio() < 10.7
+
+    def test_reconstructed_state_loads(self, compressed):
+        _, result = compressed
+        probe = BertForSequenceClassification(MICRO_CONFIG, num_labels=3, rng=1)
+        probe.load_state_dict(result.state_dict())
+
+    def test_invalid_bits(self):
+        with pytest.raises(QuantizationError):
+            QBertQuantizer(weight_bits=0)

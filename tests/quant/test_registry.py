@@ -1,0 +1,74 @@
+"""Tests for the quantizer registry and the GOBO adapter."""
+
+import numpy as np
+import pytest
+
+from repro.core.model_quantizer import select_parameters
+from repro.errors import ConfigError
+from repro.models.heads import BertForSequenceClassification
+from repro.quant import (
+    TABLE3_SPECS,
+    GoboModelQuantizer,
+    Q8BertQuantizer,
+    QBertQuantizer,
+    build_quantizer,
+)
+from tests.conftest import MICRO_CONFIG
+
+
+class TestBuildQuantizer:
+    def test_q8bert(self):
+        assert isinstance(build_quantizer("q8bert"), Q8BertQuantizer)
+
+    def test_qbert_bits_parsed(self):
+        quantizer = build_quantizer("qbert-4bit")
+        assert isinstance(quantizer, QBertQuantizer)
+        assert quantizer.weight_bits == 4
+
+    def test_gobo_bits_parsed(self):
+        quantizer = build_quantizer("gobo-3bit")
+        assert isinstance(quantizer, GoboModelQuantizer)
+        assert quantizer.weight_bits == 3
+
+    @pytest.mark.parametrize("spec", ["gob-3bit", "gobo-xbit", "gobo-9bit", ""])
+    def test_invalid_specs_rejected(self, spec):
+        with pytest.raises(ConfigError):
+            build_quantizer(spec)
+
+    def test_table3_specs_all_buildable(self):
+        for spec in TABLE3_SPECS:
+            assert build_quantizer(spec) is not None
+
+
+class TestGoboAdapter:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return BertForSequenceClassification(MICRO_CONFIG, num_labels=3, rng=0)
+
+    def test_compress_interface(self, model):
+        selection = select_parameters(model)
+        result = GoboModelQuantizer(weight_bits=3, embedding_bits=4).compress(
+            model.state_dict(), selection.fc_names, selection.embedding_names
+        )
+        assert result.method == "gobo"
+        assert set(result.tensors) == set(selection.fc_names + selection.embedding_names)
+
+    def test_reconstruction_matches_core_path(self, model):
+        from repro.core.model_quantizer import quantize_model
+
+        selection = select_parameters(model)
+        adapter = GoboModelQuantizer(weight_bits=3, embedding_bits=4).compress(
+            model.state_dict(), selection.fc_names, selection.embedding_names
+        )
+        core = quantize_model(model, weight_bits=3, embedding_bits=4)
+        for name in selection.fc_names:
+            np.testing.assert_array_equal(
+                adapter.tensors[name].reconstructed, core.quantized[name].dequantize()
+            )
+
+    def test_no_finetuning_flag(self):
+        assert GoboModelQuantizer().requires_finetuning is False
+        assert Q8BertQuantizer().requires_finetuning is True
+
+    def test_baseline_method_name(self):
+        assert GoboModelQuantizer(method="kmeans").name == "gobo-kmeans"

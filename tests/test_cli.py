@@ -1,0 +1,41 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_requires_target(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list_prints_all_targets(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for identifier in ("table1", "table7", "fig2", "fig4"):
+            assert identifier in out
+
+    def test_run_static_table(self, capsys):
+        assert main(["run", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "89.42 MB" in out
+
+    def test_run_unknown_target(self, capsys):
+        assert main(["run", "table99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_figure_payload_rendered(self, capsys):
+        assert main(["run", "fig3-curve"]) == 0
+        out = capsys.readouterr().out
+        assert "3-bit" in out and "10.67x" in out

@@ -1,0 +1,58 @@
+"""Property-based tests for the tokenizer encoding invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tokenization.tokenizer import Tokenizer
+from repro.tokenization.vocab import Vocabulary
+
+WORDS = [f"w{i}" for i in range(30)]
+TOKENIZER = Tokenizer(Vocabulary(WORDS))
+
+sentence = st.lists(st.sampled_from(WORDS), min_size=0, max_size=20).map(" ".join)
+
+
+@given(text_a=sentence, text_b=st.one_of(st.none(), sentence),
+       max_length=st.integers(min_value=6, max_value=40))
+@settings(max_examples=80, deadline=None)
+def test_encoding_invariants(text_a, text_b, max_length):
+    encoding = TOKENIZER.encode(text_a, text_b, max_length=max_length)
+    ids = encoding.input_ids
+    mask = encoding.attention_mask
+    segments = encoding.token_type_ids
+    vocab = TOKENIZER.vocab
+
+    # Fixed length, always.
+    assert ids.shape == mask.shape == segments.shape == (max_length,)
+    # [CLS] leads; real tokens form a contiguous prefix under the mask.
+    assert ids[0] == vocab.cls_id
+    real = int(mask.sum())
+    assert np.all(mask[:real] == 1) and np.all(mask[real:] == 0)
+    # Padding is [PAD] with segment 0.
+    assert np.all(ids[real:] == vocab.pad_id)
+    assert np.all(segments[real:] == 0)
+    # The last real token is [SEP].
+    assert ids[real - 1] == vocab.sep_id
+    # Segments are 0 then 1, never interleaved.
+    transitions = np.diff(segments[:real])
+    assert np.all(transitions >= 0)
+    # Pair encodings contain exactly two [SEP]s (when B survives truncation).
+    sep_count = int((ids[:real] == vocab.sep_id).sum())
+    if text_b is None:
+        assert sep_count == 1
+    else:
+        assert sep_count in (1, 2)
+    # No token id out of range.
+    assert ids.max() < len(vocab)
+
+
+@given(texts=st.lists(st.tuples(sentence, st.one_of(st.none(), sentence)),
+                      min_size=1, max_size=8))
+@settings(max_examples=30, deadline=None)
+def test_batch_consistency(texts):
+    batch = TOKENIZER.encode_batch(texts, max_length=24)
+    for i, (a, b) in enumerate(texts):
+        single = TOKENIZER.encode(a, b, max_length=24)
+        np.testing.assert_array_equal(batch.input_ids[i], single.input_ids)
+        np.testing.assert_array_equal(batch.token_type_ids[i], single.token_type_ids)

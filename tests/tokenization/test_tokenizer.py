@@ -1,0 +1,76 @@
+"""Tests for the tokenizer encoding layout."""
+
+import numpy as np
+import pytest
+
+from repro.tokenization.tokenizer import Tokenizer
+from repro.tokenization.vocab import Vocabulary
+
+
+@pytest.fixture
+def tokenizer():
+    return Tokenizer(Vocabulary([f"w{i}" for i in range(20)]))
+
+
+class TestSingleSentence:
+    def test_layout(self, tokenizer):
+        enc = tokenizer.encode("w1 w2", max_length=8)
+        vocab = tokenizer.vocab
+        assert enc.input_ids[0] == vocab.cls_id
+        assert enc.input_ids[3] == vocab.sep_id
+        assert enc.input_ids[4] == vocab.pad_id
+
+    def test_attention_mask(self, tokenizer):
+        enc = tokenizer.encode("w1 w2", max_length=8)
+        np.testing.assert_array_equal(enc.attention_mask, [1, 1, 1, 1, 0, 0, 0, 0])
+
+    def test_segments_all_zero(self, tokenizer):
+        enc = tokenizer.encode("w1 w2", max_length=8)
+        assert np.all(enc.token_type_ids == 0)
+
+    def test_fixed_length(self, tokenizer):
+        enc = tokenizer.encode("w1", max_length=16)
+        assert enc.input_ids.shape == (16,)
+
+
+class TestSentencePair:
+    def test_layout(self, tokenizer):
+        enc = tokenizer.encode("w1 w2", "w3", max_length=10)
+        vocab = tokenizer.vocab
+        ids = enc.input_ids
+        assert ids[0] == vocab.cls_id
+        assert ids[3] == vocab.sep_id
+        assert ids[5] == vocab.sep_id
+
+    def test_segment_ids(self, tokenizer):
+        enc = tokenizer.encode("w1 w2", "w3", max_length=10)
+        np.testing.assert_array_equal(
+            enc.token_type_ids[:6], [0, 0, 0, 0, 1, 1]
+        )
+
+    def test_truncates_longer_side_first(self, tokenizer):
+        text_a = " ".join(f"w{i}" for i in range(10))
+        enc = tokenizer.encode(text_a, "w1 w2", max_length=10)
+        # 10 slots - 3 specials = 7 words; the longer A side is cut to 5.
+        assert enc.attention_mask.sum() == 10
+
+    def test_unknown_words_map_to_unk(self, tokenizer):
+        enc = tokenizer.encode("zzz", max_length=6)
+        assert enc.input_ids[1] == tokenizer.vocab.unk_id
+
+    def test_max_length_too_small_rejected(self, tokenizer):
+        with pytest.raises(ValueError):
+            tokenizer.encode("w1", max_length=3)
+
+
+class TestBatch:
+    def test_stacked_shapes(self, tokenizer):
+        enc = tokenizer.encode_batch([("w1", "w2"), ("w3", None)], max_length=8)
+        assert enc.input_ids.shape == (2, 8)
+        assert enc.attention_mask.shape == (2, 8)
+        assert enc.token_type_ids.shape == (2, 8)
+
+    def test_batch_matches_single(self, tokenizer):
+        single = tokenizer.encode("w1 w2", "w3", max_length=8)
+        batch = tokenizer.encode_batch([("w1 w2", "w3")], max_length=8)
+        np.testing.assert_array_equal(batch.input_ids[0], single.input_ids)

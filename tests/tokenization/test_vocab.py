@@ -1,0 +1,42 @@
+"""Tests for the vocabulary."""
+
+import pytest
+
+from repro.tokenization.vocab import CLS, PAD, SEP, SPECIAL_TOKENS, UNK, Vocabulary
+
+
+class TestVocabulary:
+    def test_pad_is_id_zero(self):
+        assert Vocabulary(["a"]).pad_id == 0
+
+    def test_specials_first(self):
+        vocab = Vocabulary(["a", "b"])
+        assert vocab.tokens()[: len(SPECIAL_TOKENS)] == list(SPECIAL_TOKENS)
+
+    def test_lookup_round_trip(self):
+        vocab = Vocabulary(["apple", "pear"])
+        assert vocab.token_of(vocab.id_of("pear")) == "pear"
+
+    def test_unknown_maps_to_unk(self):
+        vocab = Vocabulary(["a"])
+        assert vocab.id_of("zzz") == vocab.unk_id
+
+    def test_duplicates_collapsed(self):
+        assert len(Vocabulary(["a", "a", "b"])) == len(SPECIAL_TOKENS) + 2
+
+    def test_special_duplicate_ignored(self):
+        vocab = Vocabulary([PAD, "a"])
+        assert len(vocab) == len(SPECIAL_TOKENS) + 1
+
+    def test_contains(self):
+        vocab = Vocabulary(["x"])
+        assert "x" in vocab and CLS in vocab and "y" not in vocab
+
+    def test_token_of_out_of_range(self):
+        with pytest.raises(IndexError):
+            Vocabulary(["a"]).token_of(99)
+
+    def test_special_ids_distinct(self):
+        vocab = Vocabulary([])
+        ids = {vocab.pad_id, vocab.unk_id, vocab.cls_id, vocab.sep_id}
+        assert len(ids) == 4

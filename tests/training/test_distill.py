@@ -1,0 +1,91 @@
+"""Tests for knowledge distillation."""
+
+import numpy as np
+import pytest
+
+from repro.data import generate_mnli
+from repro.models import build_model
+from repro.nn.tensor import Tensor
+from repro.training import Trainer, evaluate
+from repro.training.distill import DistillationTrainer, soft_cross_entropy
+from tests.conftest import MICRO_CONFIG
+
+
+class TestSoftCrossEntropy:
+    def test_minimized_when_student_matches_teacher(self, rng):
+        logits = rng.normal(size=(4, 3))
+        loss = soft_cross_entropy(Tensor(logits), logits, temperature=1.0)
+        # The KL term is zero at the match, so any distribution-changing
+        # perturbation increases the loss (a uniform shift would not — the
+        # softmax is shift-invariant).
+        perturbed = logits.copy()
+        perturbed[:, 0] += 0.5
+        nudged = soft_cross_entropy(Tensor(perturbed), logits, temperature=1.0)
+        assert loss.item() < nudged.item()
+
+    def test_temperature_scaling_keeps_magnitude(self, rng):
+        student = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        teacher = rng.normal(size=(4, 3))
+        soft_cross_entropy(student, teacher, temperature=4.0).backward()
+        grad_hot = np.abs(student.grad).mean()
+        student.zero_grad()
+        soft_cross_entropy(student, teacher, temperature=1.0).backward()
+        grad_cold = np.abs(student.grad).mean()
+        # T^2 scaling keeps gradients within an order of magnitude.
+        assert 0.1 < grad_hot / grad_cold < 10.0
+
+    def test_invalid_temperature(self, rng):
+        with pytest.raises(ValueError):
+            soft_cross_entropy(Tensor(rng.normal(size=(2, 3))), rng.normal(size=(2, 3)), 0.0)
+
+
+class TestDistillationTrainer:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        splits = generate_mnli(num_train=192, num_eval=96, rng=0)
+        teacher = build_model(MICRO_CONFIG, task="classification", num_labels=3, rng=1)
+        Trainer(teacher, lr=2e-3, batch_size=16, rng=2).fit(splits.train, epochs=4)
+        return teacher, splits
+
+    def test_student_learns_to_mimic_teacher(self, setup):
+        teacher, splits = setup
+        student_config = MICRO_CONFIG.scaled("micro-student", num_layers=1)
+        student = build_model(student_config, task="classification", num_labels=3, rng=5)
+        encodings = splits.eval.encodings
+
+        def agreement() -> float:
+            teacher_predictions = teacher.predict(
+                encodings.input_ids, encodings.attention_mask, encodings.token_type_ids
+            )
+            student_predictions = student.predict(
+                encodings.input_ids, encodings.attention_mask, encodings.token_type_ids
+            )
+            return float((teacher_predictions == student_predictions).mean())
+
+        trainer = DistillationTrainer(student, teacher, lr=2e-3, batch_size=16, rng=3)
+        losses = trainer.fit(splits.train, epochs=3)
+        assert losses[-1] < losses[0]
+        # The distilled student mimics the teacher's decisions closely.
+        assert agreement() >= 0.85
+
+    def test_student_smaller_than_teacher(self, setup):
+        teacher, _ = setup
+        student_config = MICRO_CONFIG.scaled("micro-student", num_layers=1)
+        student = build_model(student_config, task="classification", num_labels=3, rng=5)
+        assert student.num_parameters() < teacher.num_parameters()
+
+    def test_rejects_non_classification(self, setup):
+        teacher, _ = setup
+        from repro.data import generate_stsb
+
+        splits = generate_stsb(num_train=32, num_eval=16, rng=0)
+        student = build_model(MICRO_CONFIG, task="classification", num_labels=3, rng=5)
+        trainer = DistillationTrainer(student, teacher, rng=3)
+        with pytest.raises(ValueError):
+            trainer.fit(splits.train)
+
+    def test_invalid_soft_weight(self, setup):
+        teacher, _ = setup
+        student = build_model(MICRO_CONFIG, task="classification", num_labels=3, rng=5)
+        with pytest.raises(ValueError):
+            DistillationTrainer(student, teacher, soft_weight=1.5)

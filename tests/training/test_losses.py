@@ -1,0 +1,74 @@
+"""Tests for the loss functions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.tensor import Tensor
+from repro.training.losses import cross_entropy, mse, span_loss
+from tests.conftest import assert_autograd_matches
+
+
+class TestCrossEntropy:
+    def test_uniform_logits_log_classes(self):
+        logits = Tensor(np.zeros((4, 3)))
+        loss = cross_entropy(logits, np.zeros(4, dtype=np.int64))
+        assert loss.item() == pytest.approx(np.log(3))
+
+    def test_confident_correct_near_zero(self):
+        logits = np.full((2, 3), -20.0)
+        logits[:, 1] = 20.0
+        loss = cross_entropy(Tensor(logits), np.array([1, 1]))
+        assert loss.item() < 1e-6
+
+    def test_gradient(self, rng):
+        x = rng.normal(size=(3, 4))
+        labels = np.array([0, 2, 3])
+        assert_autograd_matches(lambda t: cross_entropy(t, labels), x)
+
+    def test_label_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((2, 3))), np.array([0, 3]))
+
+    def test_shape_checked(self):
+        with pytest.raises(ShapeError):
+            cross_entropy(Tensor(np.zeros((2, 3))), np.array([0]))
+
+    def test_logits_must_be_2d(self):
+        with pytest.raises(ShapeError):
+            cross_entropy(Tensor(np.zeros(3)), np.array([0]))
+
+
+class TestMse:
+    def test_zero_for_exact(self):
+        preds = Tensor(np.array([1.0, 2.0]))
+        assert mse(preds, np.array([1.0, 2.0])).item() == 0.0
+
+    def test_value(self):
+        preds = Tensor(np.array([1.0, 3.0]))
+        assert mse(preds, np.array([0.0, 0.0])).item() == pytest.approx(5.0)
+
+    def test_gradient(self, rng):
+        targets = rng.normal(size=4)
+        assert_autograd_matches(lambda t: mse(t, targets), rng.normal(size=4))
+
+    def test_shape_checked(self):
+        with pytest.raises(ShapeError):
+            mse(Tensor(np.zeros(3)), np.zeros(4))
+
+
+class TestSpanLoss:
+    def test_averages_start_and_end(self, rng):
+        start = Tensor(rng.normal(size=(2, 6)))
+        end = Tensor(rng.normal(size=(2, 6)))
+        spans = np.array([[1, 2], [3, 3]])
+        expected = 0.5 * (
+            cross_entropy(start, spans[:, 0]).item()
+            + cross_entropy(end, spans[:, 1]).item()
+        )
+        assert span_loss(start, end, spans).item() == pytest.approx(expected)
+
+    def test_span_shape_checked(self):
+        logits = Tensor(np.zeros((2, 6)))
+        with pytest.raises(ShapeError):
+            span_loss(logits, logits, np.array([1, 2]))

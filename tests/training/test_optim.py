@@ -1,0 +1,104 @@
+"""Tests for the optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.training.optim import SGD, Adam
+
+
+def quadratic_grad(param: Parameter) -> None:
+    """Gradient of 0.5 * ||x||^2."""
+    param.grad = param.data.copy()
+
+
+class TestSGD:
+    def test_descends_quadratic(self):
+        param = Parameter(np.array([10.0, -10.0]))
+        opt = SGD([param], lr=0.1)
+        for _ in range(100):
+            quadratic_grad(param)
+            opt.step()
+        np.testing.assert_allclose(param.data, [0.0, 0.0], atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        plain = Parameter(np.array([10.0]))
+        momentum = Parameter(np.array([10.0]))
+        opt_a, opt_b = SGD([plain], lr=0.01), SGD([momentum], lr=0.01, momentum=0.9)
+        for _ in range(20):
+            quadratic_grad(plain)
+            quadratic_grad(momentum)
+            opt_a.step()
+            opt_b.step()
+        assert abs(momentum.data[0]) < abs(plain.data[0])
+
+    def test_skips_params_without_grad(self):
+        param = Parameter(np.array([1.0]))
+        SGD([param], lr=0.1).step()
+        assert param.data[0] == 1.0
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.ones(1))], lr=0.1, momentum=1.0)
+
+
+class TestAdam:
+    def test_descends_quadratic(self):
+        param = Parameter(np.array([5.0, -3.0]))
+        opt = Adam([param], lr=0.1)
+        for _ in range(200):
+            quadratic_grad(param)
+            opt.step()
+        np.testing.assert_allclose(param.data, [0.0, 0.0], atol=1e-2)
+
+    def test_bias_correction_first_step(self):
+        param = Parameter(np.array([1.0]))
+        opt = Adam([param], lr=0.1)
+        param.grad = np.array([1.0])
+        opt.step()
+        # With bias correction, the first step has magnitude ~lr.
+        assert param.data[0] == pytest.approx(0.9, abs=1e-6)
+
+    def test_weight_decay_shrinks_unused_direction(self):
+        param = Parameter(np.array([1.0]))
+        opt = Adam([param], lr=0.01, weight_decay=0.1)
+        for _ in range(100):
+            param.grad = np.zeros(1)
+            opt.step()
+        assert abs(param.data[0]) < 1.0
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.ones(1))], betas=(1.0, 0.9))
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.ones(1))], lr=0.0)
+
+
+class TestClipGradNorm:
+    def test_clips_large_gradients(self):
+        param = Parameter(np.zeros(4))
+        opt = SGD([param], lr=0.1)
+        param.grad = np.full(4, 10.0)
+        norm = opt.clip_grad_norm(1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(param.grad) == pytest.approx(1.0)
+
+    def test_leaves_small_gradients(self):
+        param = Parameter(np.zeros(2))
+        opt = SGD([param], lr=0.1)
+        param.grad = np.array([0.3, 0.4])
+        opt.clip_grad_norm(1.0)
+        np.testing.assert_allclose(param.grad, [0.3, 0.4])
+
+    def test_zero_grad_clears(self):
+        param = Parameter(np.ones(2))
+        opt = SGD([param], lr=0.1)
+        param.grad = np.ones(2)
+        opt.zero_grad()
+        assert param.grad is None

@@ -1,0 +1,47 @@
+"""Tests for learning-rate schedules."""
+
+import pytest
+
+from repro.training.schedule import ConstantSchedule, LinearWarmupSchedule
+
+
+class TestConstant:
+    def test_always_same(self):
+        schedule = ConstantSchedule(0.01)
+        assert schedule.lr_at(0) == schedule.lr_at(10000) == 0.01
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            ConstantSchedule(0.0)
+
+
+class TestLinearWarmup:
+    def test_warmup_ramps_linearly(self):
+        schedule = LinearWarmupSchedule(peak_lr=1.0, warmup_steps=10, total_steps=100)
+        assert schedule.lr_at(0) == 0.0
+        assert schedule.lr_at(5) == pytest.approx(0.5)
+        assert schedule.lr_at(10) == pytest.approx(1.0)
+
+    def test_decay_reaches_zero(self):
+        schedule = LinearWarmupSchedule(peak_lr=1.0, warmup_steps=10, total_steps=100)
+        assert schedule.lr_at(55) == pytest.approx(0.5)
+        assert schedule.lr_at(100) == 0.0
+
+    def test_clamps_beyond_total(self):
+        schedule = LinearWarmupSchedule(peak_lr=1.0, warmup_steps=0, total_steps=10)
+        assert schedule.lr_at(50) == 0.0
+        assert schedule.lr_at(-5) == pytest.approx(1.0)
+
+    def test_no_warmup(self):
+        schedule = LinearWarmupSchedule(peak_lr=2.0, warmup_steps=0, total_steps=10)
+        assert schedule.lr_at(0) == pytest.approx(2.0)
+
+    def test_all_warmup(self):
+        schedule = LinearWarmupSchedule(peak_lr=2.0, warmup_steps=10, total_steps=10)
+        assert schedule.lr_at(10) == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinearWarmupSchedule(peak_lr=0.0, warmup_steps=0, total_steps=10)
+        with pytest.raises(ValueError):
+            LinearWarmupSchedule(peak_lr=1.0, warmup_steps=20, total_steps=10)

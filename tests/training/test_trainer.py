@@ -1,0 +1,80 @@
+"""Tests for the fine-tuning loop (micro-scale end-to-end checks)."""
+
+import numpy as np
+import pytest
+
+from repro.data.mnli import generate_mnli
+from repro.data.squad import generate_squad
+from repro.data.stsb import generate_stsb
+from repro.models.zoo import build_model
+from repro.training.trainer import Trainer, evaluate
+from tests.conftest import MICRO_CONFIG
+
+
+@pytest.fixture(scope="module")
+def mnli():
+    return generate_mnli(num_train=96, num_eval=48, rng=0)
+
+
+class TestTrainer:
+    def test_loss_decreases(self, mnli):
+        model = build_model(MICRO_CONFIG, "classification", num_labels=3, rng=1)
+        log = Trainer(model, lr=2e-3, batch_size=16, rng=2).fit(mnli.train, epochs=3)
+        assert log.losses[-1] < log.losses[0]
+
+    def test_eval_scores_recorded(self, mnli):
+        model = build_model(MICRO_CONFIG, "classification", num_labels=3, rng=1)
+        log = Trainer(model, lr=2e-3, batch_size=16, rng=2).fit(
+            mnli.train, eval_data=mnli.eval, epochs=2
+        )
+        assert len(log.eval_scores) == 2
+        assert all(0.0 <= s <= 1.0 for s in log.eval_scores)
+
+    def test_model_left_in_eval_mode(self, mnli):
+        model = build_model(MICRO_CONFIG, "classification", num_labels=3, rng=1)
+        Trainer(model, lr=1e-3, rng=2).fit(mnli.train, epochs=1)
+        assert not model.training
+
+    def test_deterministic_training(self, mnli):
+        def run():
+            model = build_model(MICRO_CONFIG, "classification", num_labels=3, rng=1)
+            Trainer(model, lr=1e-3, batch_size=16, rng=2).fit(mnli.train, epochs=1)
+            return model.state_dict()
+
+        a, b = run(), run()
+        for name in a:
+            np.testing.assert_array_equal(a[name], b[name])
+
+    def test_invalid_epochs(self, mnli):
+        model = build_model(MICRO_CONFIG, "classification", num_labels=3, rng=1)
+        with pytest.raises(ValueError):
+            Trainer(model, rng=2).fit(mnli.train, epochs=0)
+
+    def test_regression_task_trains(self):
+        splits = generate_stsb(num_train=64, num_eval=16, rng=0)
+        model = build_model(MICRO_CONFIG, "regression", rng=1)
+        log = Trainer(model, lr=2e-3, batch_size=16, rng=2).fit(splits.train, epochs=3)
+        assert log.losses[-1] < log.losses[0]
+
+    def test_span_task_trains(self):
+        splits = generate_squad(num_train=64, num_eval=16, rng=0)
+        model = build_model(MICRO_CONFIG, "span", rng=1)
+        log = Trainer(model, lr=2e-3, batch_size=16, rng=2).fit(splits.train, epochs=3)
+        assert log.losses[-1] < log.losses[0]
+
+
+class TestEvaluate:
+    def test_returns_metric_in_range(self, mnli):
+        model = build_model(MICRO_CONFIG, "classification", num_labels=3, rng=1)
+        score = evaluate(model, mnli.eval)
+        assert 0.0 <= score <= 1.0
+
+    def test_untrained_model_near_chance(self, mnli):
+        model = build_model(MICRO_CONFIG, "classification", num_labels=3, rng=1)
+        assert evaluate(model, mnli.eval) < 0.7
+
+    def test_batch_size_does_not_change_result(self, mnli):
+        model = build_model(MICRO_CONFIG, "classification", num_labels=3, rng=1)
+        a = evaluate(model, mnli.eval, batch_size=8)
+        b = evaluate(model, mnli.eval, batch_size=48)
+        assert a == b

@@ -1,0 +1,76 @@
+"""Tests for dense bit packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.bitpack import pack_bits, packed_nbytes, unpack_bits
+
+
+class TestPackedNbytes:
+    def test_exact_multiples(self):
+        assert packed_nbytes(8, 3) == 3  # 24 bits
+
+    def test_rounds_up(self):
+        assert packed_nbytes(3, 3) == 2  # 9 bits -> 2 bytes
+
+    def test_zero_count(self):
+        assert packed_nbytes(0, 5) == 0
+
+    def test_one_bit(self):
+        assert packed_nbytes(9, 1) == 2
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            packed_nbytes(-1, 3)
+
+    @pytest.mark.parametrize("bits", [0, 17, -2])
+    def test_invalid_bits_rejected(self, bits):
+        with pytest.raises(ValueError):
+            packed_nbytes(4, bits)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("bits", [1, 2, 3, 4, 5, 6, 7, 8, 12, 16])
+    def test_round_trip_all_widths(self, bits, rng):
+        values = rng.integers(0, 1 << bits, size=1000)
+        packed = pack_bits(values, bits)
+        assert len(packed) == packed_nbytes(1000, bits)
+        recovered = unpack_bits(packed, bits, 1000)
+        np.testing.assert_array_equal(recovered, values)
+
+    def test_empty(self):
+        assert unpack_bits(pack_bits(np.array([], dtype=np.int64), 3), 3, 0).size == 0
+
+    def test_max_values(self):
+        values = np.full(17, 7)
+        assert unpack_bits(pack_bits(values, 3), 3, 17).tolist() == [7] * 17
+
+    def test_preserves_2d_input_flattened(self, rng):
+        values = rng.integers(0, 8, size=(13, 7))
+        recovered = unpack_bits(pack_bits(values, 3), 3, values.size)
+        np.testing.assert_array_equal(recovered, values.ravel())
+
+    def test_value_too_large_rejected(self):
+        with pytest.raises(ValueError, match="does not fit"):
+            pack_bits(np.array([8]), 3)
+
+    def test_short_buffer_rejected(self):
+        with pytest.raises(ValueError, match="need"):
+            unpack_bits(b"\x00", 8, 5)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=7), max_size=200),
+        st.integers(min_value=3, max_value=8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_property(self, values, bits):
+        array = np.array(values, dtype=np.int64)
+        recovered = unpack_bits(pack_bits(array, bits), bits, len(values))
+        assert recovered.tolist() == values
+
+    @given(st.integers(min_value=0, max_value=5000), st.integers(min_value=1, max_value=16))
+    @settings(max_examples=50, deadline=None)
+    def test_packed_size_is_ceiling(self, count, bits):
+        assert packed_nbytes(count, bits) == -(-count * bits // 8)

@@ -1,0 +1,68 @@
+"""Tests for the RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import derive_rng, ensure_rng, seeded_permutation, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(7).random(5)
+        b = ensure_rng(7).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_numpy_integer_accepted(self):
+        assert isinstance(ensure_rng(np.int64(3)), np.random.Generator)
+
+    def test_rejects_strings(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+
+class TestDeriveRng:
+    def test_same_tags_same_stream(self):
+        a = derive_rng(0, "layer", 3).random(4)
+        b = derive_rng(0, "layer", 3).random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_tags_differ(self):
+        a = derive_rng(0, "layer", 3).random(4)
+        b = derive_rng(0, "layer", 4).random(4)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = derive_rng(0, "x").random(4)
+        b = derive_rng(1, "x").random(4)
+        assert not np.array_equal(a, b)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_children_independent(self):
+        children = spawn_rngs(0, 2)
+        assert not np.array_equal(children[0].random(8), children[1].random(8))
+
+    def test_deterministic(self):
+        a = [g.random() for g in spawn_rngs(9, 3)]
+        b = [g.random() for g in spawn_rngs(9, 3)]
+        assert a == b
+
+
+class TestSeededPermutation:
+    def test_is_permutation(self):
+        items = list(range(20))
+        shuffled = seeded_permutation(3, items)
+        assert sorted(shuffled) == items
+
+    def test_deterministic(self):
+        assert seeded_permutation(3, range(10)) == seeded_permutation(3, range(10))

@@ -1,0 +1,49 @@
+"""Tests for table rendering."""
+
+import pytest
+
+from repro.utils.tables import format_cell, format_table, percentage
+
+
+class TestFormatCell:
+    def test_none_is_dash(self):
+        assert format_cell(None) == "-"
+
+    def test_float_formatted(self):
+        assert format_cell(3.14159) == "3.14"
+
+    def test_custom_float_format(self):
+        assert format_cell(3.14159, "{:.4f}") == "3.1416"
+
+    def test_int_passthrough(self):
+        assert format_cell(42) == "42"
+
+    def test_string_passthrough(self):
+        assert format_cell("abc") == "abc"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bbb"], [["xxxx", 1], ["y", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a    |")
+        assert all("|" in line for line in (lines[0], lines[2], lines[3]))
+
+    def test_title_included(self):
+        assert format_table(["h"], [["v"]], title="My Table").startswith("My Table")
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="row 0"):
+            format_table(["a", "b"], [["only one"]])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["col"], [])
+        assert "col" in text
+
+
+class TestPercentage:
+    def test_default_digits(self):
+        assert percentage(0.0069) == "0.69%"
+
+    def test_custom_digits(self):
+        assert percentage(0.5, digits=0) == "50%"

@@ -1,0 +1,84 @@
+"""Layer-parallel quantization engine: identity and speedup measurement.
+
+Whole-model GOBO compression is embarrassingly parallel (every FC matrix and
+embedding table is quantized independently), so the engine must deliver the
+exact serial result at any worker count.  This benchmark asserts bit-identity
+on the tiny zoo BERT and records per-layer timings plus the end-to-end
+speedup for workers in {1, 2, 4}.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit, run_once
+from repro.core.model_quantizer import quantize_state_dict, select_parameters
+from repro.models import build_model, get_config
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _zoo_bert_state():
+    model = build_model(get_config("tiny-bert-base"), task="encoder", rng=0)
+    selection = select_parameters(model)
+    return model.state_dict(), selection
+
+
+def _quantize(state, selection, workers):
+    return quantize_state_dict(
+        state,
+        fc_names=selection.fc_names,
+        embedding_names=selection.embedding_names,
+        weight_bits=3,
+        embedding_bits=4,
+        workers=workers,
+    )
+
+
+def test_parallel_engine_identity_and_speedup(results_dir, benchmark):
+    state, selection = _zoo_bert_state()
+
+    results = {workers: _quantize(state, selection, workers) for workers in WORKER_COUNTS}
+
+    # --- bit-identity: every worker count reproduces the serial result -----
+    serial = results[1]
+    serial_state = serial.state_dict()
+    for workers in WORKER_COUNTS[1:]:
+        parallel = results[workers]
+        assert set(parallel.quantized) == set(serial.quantized)
+        for name, tensor in serial.quantized.items():
+            other = parallel.quantized[name]
+            assert other.packed_codes == tensor.packed_codes
+            np.testing.assert_array_equal(other.centroids, tensor.centroids)
+            np.testing.assert_array_equal(other.outlier_values, tensor.outlier_values)
+        parallel_state = parallel.state_dict()
+        for name in serial_state:
+            np.testing.assert_array_equal(parallel_state[name], serial_state[name])
+        assert parallel.iterations == serial.iterations
+
+    # --- timing artifact ---------------------------------------------------
+    serial_wall = serial.report.wall_seconds
+    lines = [serial.report.render(), "", "End-to-end wall time by worker count:"]
+    for workers in WORKER_COUNTS:
+        report = results[workers].report
+        speedup = serial_wall / report.wall_seconds if report.wall_seconds else float("inf")
+        lines.append(
+            f"workers={workers}: {report.wall_seconds * 1000:.1f} ms "
+            f"(speedup {speedup:.2f}x vs serial, "
+            f"effective parallelism {report.effective_parallelism:.2f}x)"
+        )
+    emit(results_dir, "parallel_engine.txt", "\n".join(lines))
+
+    run_once(benchmark, lambda: _quantize(state, selection, WORKER_COUNTS[-1]))
+
+
+def test_per_layer_timings_recorded(results_dir):
+    state, selection = _zoo_bert_state()
+    quantized = _quantize(state, selection, workers=2)
+    report = quantized.report
+    assert len(report.layers) == len(selection.fc_names) + len(selection.embedding_names)
+    assert all(record.seconds > 0 for record in report.layers)
+    assert report.wall_seconds > 0
+    # The report's byte accounting matches the model's own.
+    assert report.total_compressed_bytes == quantized.compressed_bytes()
+    assert report.total_original_bytes == quantized.original_bytes()

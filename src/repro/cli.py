@@ -6,6 +6,7 @@ Subcommands::
     python -m repro run table3                # regenerate one table/figure
     python -m repro run all                   # everything (trains on first use)
     python -m repro prewarm                   # fine-tune + cache all models
+    python -m repro quantize --workers 4 --report   # compress a zoo model
 """
 
 from __future__ import annotations
@@ -65,6 +66,58 @@ def _cmd_prewarm(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_quantize(args: argparse.Namespace) -> int:
+    from repro.core.model_quantizer import quantize_model
+    from repro.core.serialization import save_quantized_model
+    from repro.errors import ConfigError, QuantizationError
+    from repro.models import build_model, get_config
+
+    try:
+        config = get_config(args.config)
+    except ConfigError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if args.embedding_bits.lower() == "none":
+        embedding_bits = None
+    else:
+        try:
+            embedding_bits = int(args.embedding_bits)
+        except ValueError:
+            print(f"--embedding-bits must be an int or 'none', got {args.embedding_bits!r}",
+                  file=sys.stderr)
+            return 2
+
+    model = build_model(config, task="encoder", rng=args.seed)
+    try:
+        quantized = quantize_model(
+            model,
+            weight_bits=args.weight_bits,
+            embedding_bits=embedding_bits,
+            method=args.method,
+            workers=args.workers,
+        )
+    except QuantizationError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    report = quantized.report
+    print(
+        f"{config.name}: {model.num_parameters()} parameters, "
+        f"{len(report.layers)} tensors quantized in {report.wall_seconds:.3f}s "
+        f"({report.workers} worker{'s' if report.workers != 1 else ''})"
+    )
+    print(
+        f"compression {quantized.model_compression_ratio():.2f}x, "
+        f"outliers {quantized.outlier_fraction() * 100:.3f}%"
+    )
+    if args.report:
+        print()
+        print(report.render())
+    if args.out:
+        size = save_quantized_model(quantized, args.out)
+        print(f"\narchive written: {args.out} ({size / 1024:.1f} KiB)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -78,6 +131,32 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "prewarm", help="fine-tune and cache every evaluation model"
     ).set_defaults(func=_cmd_prewarm)
+    quantize = sub.add_parser(
+        "quantize",
+        help="GOBO-compress a zoo model through the layer-parallel engine",
+    )
+    quantize.add_argument(
+        "--config", default="tiny-bert-base", help="model config name (default tiny-bert-base)"
+    )
+    quantize.add_argument("--weight-bits", type=int, default=3, help="bits for FC weights")
+    quantize.add_argument(
+        "--embedding-bits", default="4",
+        help="bits for embedding tables, or 'none' to leave them FP32",
+    )
+    quantize.add_argument(
+        "--method", default="gobo", choices=("gobo", "kmeans", "linear"),
+        help="centroid selection method",
+    )
+    quantize.add_argument(
+        "--workers", type=int, default=None,
+        help="engine threads: N, 0 for all cores; default REPRO_WORKERS or 1",
+    )
+    quantize.add_argument(
+        "--report", action="store_true", help="print the per-layer timing report"
+    )
+    quantize.add_argument("--out", default=None, help="write the .npz archive here")
+    quantize.add_argument("--seed", type=int, default=0, help="model init seed")
+    quantize.set_defaults(func=_cmd_quantize)
     return parser
 
 

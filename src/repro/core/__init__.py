@@ -30,6 +30,14 @@ from repro.core.outliers import (
     OutlierDetector,
     OutlierSplit,
 )
+from repro.core.parallel import (
+    LayerJob,
+    LayerRecord,
+    QuantizationReport,
+    default_workers,
+    quantize_layers,
+    resolve_workers,
+)
 from repro.core.policy import LayerPolicy, PolicyRule, mixed_precision_policy
 from repro.core.quantizer import (
     GoboQuantizedTensor,
@@ -45,20 +53,26 @@ __all__ = [
     "ConvergenceTrace",
     "code_entropy",
     "GoboQuantizedTensor",
+    "LayerJob",
     "LayerPolicy",
+    "LayerRecord",
     "OutlierDetector",
     "OutlierSplit",
     "ParameterSelection",
     "PolicyRule",
+    "QuantizationReport",
     "QuantizedModel",
     "StorageReport",
     "assign_to_centroids",
     "compression_curve",
+    "default_workers",
     "equal_population_centroids",
     "gobo_cluster",
     "kmeans_cluster",
     "linear_centroids",
     "load_quantized_model",
+    "quantize_layers",
+    "resolve_workers",
     "mixed_precision_policy",
     "potential_compression_ratio",
     "quantization_error",

@@ -22,8 +22,9 @@ import numpy as np
 
 from repro.core.formats import BYTES_PER_FP32, StorageReport
 from repro.core.outliers import DEFAULT_LOG_PROB_THRESHOLD
+from repro.core.parallel import LayerJob, QuantizationReport, quantize_layers
 from repro.core.policy import LayerPolicy
-from repro.core.quantizer import GoboQuantizedTensor, quantize_tensor
+from repro.core.quantizer import GoboQuantizedTensor
 from repro.errors import QuantizationError
 from repro.models.bert import BertModel
 from repro.nn.module import Module
@@ -62,13 +63,20 @@ class QuantizedModel:
     fc_names: tuple[str, ...]
     embedding_names: tuple[str, ...]
     iterations: dict[str, int] = field(default_factory=dict)
+    report: QuantizationReport | None = None
 
     # ------------------------------------------------------------ reconstruction
-    def state_dict(self) -> dict[str, np.ndarray]:
-        """Full FP32 state dict: dequantized layers + passthrough params."""
-        state = {name: value.copy() for name, value in self.fp32.items()}
+    def state_dict(self, dtype: np.dtype | type = np.float64) -> dict[str, np.ndarray]:
+        """Reconstructed state dict: dequantized layers + passthrough params.
+
+        Every entry — dequantized and passthrough alike — is returned in
+        ``dtype``.  The default float64 matches the in-memory compute
+        substrate (bit-exact passthrough); pass ``np.float32`` for the
+        paper's decode-target precision.
+        """
+        state = {name: np.array(value, dtype=dtype) for name, value in self.fp32.items()}
         for name, tensor in self.quantized.items():
-            state[name] = tensor.dequantize()
+            state[name] = tensor.dequantize(dtype=dtype)
         return state
 
     def apply_to(self, model: Module) -> Module:
@@ -130,6 +138,7 @@ def quantize_state_dict(
     embedding_bits: int | None = 4,
     method: str = "gobo",
     log_prob_threshold: float = DEFAULT_LOG_PROB_THRESHOLD,
+    workers: int | None = 1,
 ) -> QuantizedModel:
     """Quantize selected tensors of a state dict; pass the rest through.
 
@@ -137,33 +146,28 @@ def quantize_state_dict(
     the RoBERTa mixed 3b/4b recipe).  ``embedding_bits=None`` leaves the
     embedding tables FP32 (the Figure 4 "FP32 model" scenario is the reverse:
     quantize only embeddings by passing an empty ``fc_names``).
+
+    ``workers`` fans the per-layer jobs out over the engine in
+    :mod:`repro.core.parallel` (1 = serial, 0 = all cores, None = the
+    ``REPRO_WORKERS`` environment default).  The output is bit-for-bit
+    identical for every worker count; the engine's per-layer timings are
+    attached as ``QuantizedModel.report``.
     """
     policy = weight_bits if isinstance(weight_bits, LayerPolicy) else LayerPolicy.uniform(weight_bits)
     missing = [n for n in (*fc_names, *embedding_names) if n not in state]
     if missing:
         raise QuantizationError(f"state dict is missing tensors: {missing}")
 
-    quantized: dict[str, GoboQuantizedTensor] = {}
-    iterations: dict[str, int] = {}
-    for name in fc_names:
-        tensor, result = quantize_tensor(
-            state[name],
-            bits=policy.bits_for(name),
-            log_prob_threshold=log_prob_threshold,
-            method=method,
-        )
-        quantized[name] = tensor
-        iterations[name] = result.iterations
+    jobs = [LayerJob(name=name, bits=policy.bits_for(name)) for name in fc_names]
     if embedding_bits is not None:
-        for name in embedding_names:
-            tensor, result = quantize_tensor(
-                state[name],
-                bits=embedding_bits,
-                log_prob_threshold=log_prob_threshold,
-                method=method,
-            )
-            quantized[name] = tensor
-            iterations[name] = result.iterations
+        jobs.extend(LayerJob(name=name, bits=embedding_bits) for name in embedding_names)
+    quantized, iterations, report = quantize_layers(
+        state,
+        jobs,
+        log_prob_threshold=log_prob_threshold,
+        method=method,
+        workers=workers,
+    )
 
     fp32 = {name: value for name, value in state.items() if name not in quantized}
     return QuantizedModel(
@@ -172,6 +176,7 @@ def quantize_state_dict(
         fc_names=tuple(fc_names),
         embedding_names=tuple(embedding_names),
         iterations=iterations,
+        report=report,
     )
 
 
@@ -182,10 +187,13 @@ def quantize_model(
     method: str = "gobo",
     log_prob_threshold: float = DEFAULT_LOG_PROB_THRESHOLD,
     quantize_weights: bool = True,
+    workers: int | None = 1,
 ) -> QuantizedModel:
     """Quantize a live model's BERT FC layers and embedding tables.
 
     Set ``quantize_weights=False`` for the Figure 4 embedding-only scenario.
+    ``workers`` is forwarded to the layer-parallel engine (see
+    :func:`quantize_state_dict`).
     """
     selection = select_parameters(model)
     return quantize_state_dict(
@@ -196,4 +204,5 @@ def quantize_model(
         embedding_bits=embedding_bits,
         method=method,
         log_prob_threshold=log_prob_threshold,
+        workers=workers,
     )

@@ -88,15 +88,21 @@ class GoboQuantizedTensor:
         """Unpacked G-group centroid indexes (flat, outliers skipped)."""
         return unpack_bits(self.packed_codes, self.bits, self.gaussian_count)
 
-    def dequantize(self) -> np.ndarray:
-        """Reconstruct the FP32 tensor (same shape/dtype/architecture —
-        GOBO is plug-in compatible with any FP32 execution engine)."""
+    def dequantize(self, dtype: np.dtype | type = np.float32) -> np.ndarray:
+        """Reconstruct the tensor in ``dtype`` (same shape — GOBO is plug-in
+        compatible with any FP32 execution engine).
+
+        Defaults to float32, the paper's decode target.  Reconstruction is
+        performed in float64 and cast once at the end, so values are
+        identical across worker counts; pass ``np.float64`` to keep the
+        stored outliers and centroids bit-exact.
+        """
         flat = np.empty(self.total_count, dtype=np.float64)
         mask = np.zeros(self.total_count, dtype=bool)
         mask[self.outlier_positions] = True
         flat[mask] = self.outlier_values
         flat[~mask] = self.centroids[self.codes()]
-        return flat.reshape(self.shape)
+        return flat.reshape(self.shape).astype(dtype, copy=False)
 
 
 def quantize_tensor(
@@ -171,9 +177,13 @@ def quantize_tensor(
 
 
 def quantization_error(original: np.ndarray, quantized: GoboQuantizedTensor) -> dict[str, float]:
-    """Reconstruction error metrics between a tensor and its quantized form."""
+    """Reconstruction error metrics between a tensor and its quantized form.
+
+    Decodes at float64 so the metrics measure quantization error alone, not
+    decode-precision rounding.
+    """
     original = np.asarray(original, dtype=np.float64)
-    restored = quantized.dequantize()
+    restored = quantized.dequantize(dtype=np.float64)
     diff = original - restored
     denom = float(np.abs(original).mean()) or 1.0
     return {

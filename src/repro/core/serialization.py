@@ -5,17 +5,30 @@ single ``.npz`` archive whose size is dominated by the bit-packed G-group
 codes — i.e. the file on disk realizes the ~10x compression the paper
 reports, not just the in-memory accounting.
 
-Layout per quantized tensor ``<name>``::
+Layout (format version 2) per quantized tensor ``<name>``::
 
     gobo::<name>::codes       packed bitstream (uint8)
     gobo::<name>::centroids   2^bits FP32 reconstruction table
     gobo::<name>::positions   outlier flat indices (uint32)
     gobo::<name>::outliers    outlier values (float32)
-    gobo::<name>::meta        [bits, *shape]
+    gobo::<name>::meta        [bits, iterations, *shape]
 
 Pass-through FP32 parameters are stored under ``fp32::<name>`` as float32
 (the paper's decode target precision; note the in-memory substrate computes
-in float64).
+in float64).  The ``index::fc`` / ``index::embeddings`` name lists are
+fixed-width unicode arrays and ``index::version`` tags the layout, so the
+archive contains **no object arrays**: it loads with numpy's default
+``allow_pickle=False`` and is safe to read from untrusted sources.
+
+Guarantees:
+
+* ``save_quantized_model`` normalizes paths the way ``np.savez`` does —
+  a missing ``.npz`` suffix is appended — and returns the byte size of the
+  file actually written.
+* The clustering iteration counts (``QuantizedModel.iterations``) survive
+  the round-trip, so per-layer reports can be regenerated after a reload.
+* Version-1 archives (no iteration counts in ``meta``) still load; their
+  ``iterations`` dict comes back empty.
 """
 
 from __future__ import annotations
@@ -29,9 +42,24 @@ from repro.core.model_quantizer import QuantizedModel
 from repro.core.quantizer import GoboQuantizedTensor
 from repro.errors import SerializationError
 
+FORMAT_VERSION = 2
+
+
+def _normalize_path(path: str | Path) -> Path:
+    """Mirror ``np.savez``'s suffix handling: append ``.npz`` if absent."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path
+
 
 def save_quantized_model(model: QuantizedModel, path: str | Path) -> int:
-    """Write ``model`` to ``path`` (npz). Returns the file size in bytes."""
+    """Write ``model`` to ``path`` (npz). Returns the file size in bytes.
+
+    ``np.savez`` silently appends ``.npz`` when the path lacks the suffix;
+    the path is normalized the same way first so the size reported is that
+    of the file actually written.
+    """
     payload: dict[str, np.ndarray] = {}
     for name, tensor in model.quantized.items():
         payload[f"gobo::{name}::codes"] = np.frombuffer(tensor.packed_codes, dtype=np.uint8)
@@ -39,41 +67,58 @@ def save_quantized_model(model: QuantizedModel, path: str | Path) -> int:
         payload[f"gobo::{name}::positions"] = tensor.outlier_positions.astype(np.uint32)
         payload[f"gobo::{name}::outliers"] = tensor.outlier_values.astype(np.float32)
         payload[f"gobo::{name}::meta"] = np.array(
-            [tensor.bits, *tensor.shape], dtype=np.int64
+            [tensor.bits, model.iterations.get(name, 0), *tensor.shape], dtype=np.int64
         )
     for name, value in model.fp32.items():
         payload[f"fp32::{name}"] = np.asarray(value, dtype=np.float32)
-    payload["index::fc"] = np.array(model.fc_names, dtype=object)
-    payload["index::embeddings"] = np.array(model.embedding_names, dtype=object)
-    path = Path(path)
+    payload["index::fc"] = np.array(model.fc_names, dtype=np.str_)
+    payload["index::embeddings"] = np.array(model.embedding_names, dtype=np.str_)
+    payload["index::version"] = np.array([FORMAT_VERSION], dtype=np.int64)
+    path = _normalize_path(path)
     np.savez(path, **payload)
     return path.stat().st_size
 
 
 def load_quantized_model(path: str | Path) -> QuantizedModel:
-    """Read a :class:`QuantizedModel` written by :func:`save_quantized_model`."""
+    """Read a :class:`QuantizedModel` written by :func:`save_quantized_model`.
+
+    Archives are loaded with ``allow_pickle=False`` (the format stores no
+    object arrays), and the per-layer iteration counts recorded at
+    quantization time are restored.
+    """
     path = Path(path)
     if not path.exists():
         raise SerializationError(f"no such archive: {path}")
-    import pickle
-
     try:
-        archive = np.load(path, allow_pickle=True)
-    except (OSError, ValueError, pickle.UnpicklingError, zipfile.BadZipFile) as exc:
+        archive = np.load(path)
+    except (OSError, ValueError, zipfile.BadZipFile) as exc:
         raise SerializationError(f"cannot read archive {path}: {exc}") from exc
     with archive:
+        version = 1
+        if "index::version" in archive.files:
+            version = int(archive["index::version"][0])
+        if not 1 <= version <= FORMAT_VERSION:
+            raise SerializationError(
+                f"archive {path} has format version {version}; "
+                f"this reader supports 1..{FORMAT_VERSION}"
+            )
         names = {
             key.split("::", 2)[1]
             for key in archive.files
             if key.startswith("gobo::") and key.endswith("::meta")
         }
         quantized: dict[str, GoboQuantizedTensor] = {}
+        iterations: dict[str, int] = {}
         for name in names:
             try:
                 meta = archive[f"gobo::{name}::meta"]
+                if version >= 2:
+                    bits, layer_iterations, shape = int(meta[0]), int(meta[1]), meta[2:]
+                else:
+                    bits, layer_iterations, shape = int(meta[0]), 0, meta[1:]
                 tensor = GoboQuantizedTensor(
-                    shape=tuple(int(d) for d in meta[1:]),
-                    bits=int(meta[0]),
+                    shape=tuple(int(d) for d in shape),
+                    bits=bits,
                     centroids=archive[f"gobo::{name}::centroids"].astype(np.float64),
                     packed_codes=archive[f"gobo::{name}::codes"].tobytes(),
                     outlier_positions=archive[f"gobo::{name}::positions"].astype(np.int64),
@@ -82,6 +127,8 @@ def load_quantized_model(path: str | Path) -> QuantizedModel:
             except KeyError as exc:
                 raise SerializationError(f"archive missing field for {name}: {exc}") from exc
             quantized[name] = tensor
+            if layer_iterations > 0:
+                iterations[name] = layer_iterations
         fp32 = {
             key[len("fp32::"):]: archive[key].astype(np.float64)
             for key in archive.files
@@ -97,4 +144,5 @@ def load_quantized_model(path: str | Path) -> QuantizedModel:
         fp32=fp32,
         fc_names=fc_names,
         embedding_names=embedding_names,
+        iterations=iterations,
     )

@@ -122,12 +122,16 @@ def quantized_score(
     weight_bits: int | LayerPolicy | None,
     embedding_bits: int | None,
     method: str = "gobo",
+    workers: int | None = None,
 ) -> float:
     """Evaluate ``finetuned`` after quantizing weights and/or embeddings.
 
     ``weight_bits=None`` leaves the FC weights FP32 (Figure 4's
     embedding-only scenario).  The original model is never mutated: the
-    reconstructed weights load into a fresh probe model.
+    reconstructed weights load into a fresh probe model.  ``workers=None``
+    defers to the ``REPRO_WORKERS`` environment default, so whole experiment
+    sweeps parallelize without touching every call site (results are
+    bit-identical either way).
     """
     recipe = RECIPES[finetuned.task]
     quantized = quantize_model(
@@ -136,6 +140,7 @@ def quantized_score(
         embedding_bits=embedding_bits,
         method=method,
         quantize_weights=weight_bits is not None,
+        workers=workers,
     )
     probe = _build(finetuned.config_name, recipe)
     quantized.apply_to(probe)

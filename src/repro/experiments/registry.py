@@ -43,6 +43,10 @@ EXPERIMENTS: dict[str, Experiment] = {
             tables.table6_roberta, True,
         ),
         Experiment("table7", "Embedding-table compression", tables.table7_embeddings, False),
+        Experiment(
+            "engine", "Per-layer quantization cost (parallel engine report)",
+            tables.engine_report, False,
+        ),
         Experiment("fig1b", "Per-layer weight distributions", figures.fig1b_distributions, False),
         Experiment("fig1c", "Weight scatter with outlier fringe", figures.fig1c_weight_scatter, False),
         Experiment("fig2", "GOBO vs K-Means convergence", figures.fig2_convergence, False),

@@ -7,6 +7,7 @@ benchmarks write to ``benchmarks/results/`` and the CLI prints.
 
 from __future__ import annotations
 
+from repro.core.parallel import QuantizationReport
 from repro.experiments.figures import (
     ConvergenceComparison,
     EmbeddingAccuracyPoint,
@@ -20,6 +21,8 @@ from repro.utils.tables import format_table
 def render_payload(payload: object) -> str:
     """Render any experiment payload as plain text."""
     if isinstance(payload, TableResult):
+        return payload.render()
+    if isinstance(payload, QuantizationReport):
         return payload.render()
     if isinstance(payload, list):
         if not payload:

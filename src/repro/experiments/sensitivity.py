@@ -35,13 +35,15 @@ def layer_sensitivity_scan(
     bits: int = 2,
     layers: tuple[str, ...] | None = None,
     log_prob_threshold: float = DEFAULT_LOG_PROB_THRESHOLD,
+    workers: int | None = None,
 ) -> list[LayerSensitivity]:
     """Rank FC layers of ``model`` by their isolated quantization cost.
 
     ``probe`` must be a fresh model of the same architecture (it is reloaded
     for every layer).  ``bits`` defaults to 2 so that per-layer differences
-    are large enough to rank reliably.  Returns results sorted most-sensitive
-    first.
+    are large enough to rank reliably.  ``workers`` is forwarded to the
+    quantization engine (None = the ``REPRO_WORKERS`` environment default).
+    Returns results sorted most-sensitive first.
     """
     selection = select_parameters(model)
     targets = layers if layers is not None else selection.fc_names
@@ -59,6 +61,7 @@ def layer_sensitivity_scan(
             weight_bits=bits,
             embedding_bits=None,
             log_prob_threshold=log_prob_threshold,
+            workers=workers,
         )
         probe.load_state_dict(quantized.state_dict())
         score = evaluate(probe, eval_data)

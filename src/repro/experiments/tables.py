@@ -14,7 +14,9 @@ from dataclasses import dataclass
 from functools import lru_cache
 
 from repro.core.formats import potential_compression_ratio, storage_report
+from repro.core.model_quantizer import quantize_model
 from repro.core.outliers import OutlierDetector
+from repro.core.parallel import QuantizationReport
 from repro.core.policy import mixed_precision_policy
 from repro.experiments.accuracy import (
     FinetunedModel,
@@ -33,7 +35,7 @@ from repro.models.footprint import (
     memory_footprint,
     total_parameter_count,
 )
-from repro.models.zoo import fc_layer_shapes, synthetic_model_weights
+from repro.models.zoo import build_model, fc_layer_shapes, synthetic_model_weights
 from repro.utils.tables import format_table
 
 
@@ -357,6 +359,25 @@ def table7_embeddings(outlier_fraction: float = 0.001) -> TableResult:
         headers=["Model/Task", "Baseline FP32", "3-bit", "CR", "4-bit", "CR"],
         rows=rows,
     )
+
+
+# ---------------------------------------------------------------------------
+# quantization-engine instrumentation
+# ---------------------------------------------------------------------------
+
+
+def engine_report(workers: int | None = None) -> QuantizationReport:
+    """Per-layer quantization cost on the tiny zoo BERT.
+
+    Runs the layer-parallel engine over every FC matrix and embedding table
+    and returns its :class:`~repro.core.parallel.QuantizationReport`
+    (wall-time, iterations, outlier fraction and bytes per layer) — the
+    quantization-time axis Q8BERT and the PTQ surveys treat as first-class.
+    ``workers=None`` defers to the ``REPRO_WORKERS`` environment default.
+    """
+    model = build_model(get_config("tiny-bert-base"), task="encoder", rng=0)
+    quantized = quantize_model(model, weight_bits=3, embedding_bits=4, workers=workers)
+    return quantized.report
 
 
 # ---------------------------------------------------------------------------

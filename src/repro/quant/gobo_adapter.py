@@ -34,6 +34,7 @@ class GoboModelQuantizer:
         state: dict[str, np.ndarray],
         fc_names: tuple[str, ...],
         embedding_names: tuple[str, ...],
+        workers: int | None = None,
     ) -> CompressedModel:
         quantized = quantize_state_dict(
             state,
@@ -43,10 +44,13 @@ class GoboModelQuantizer:
             embedding_bits=self.embedding_bits,
             method=self.method,
             log_prob_threshold=self.log_prob_threshold,
+            workers=workers,
         )
         tensors = {
+            # float64 decode: the common interface's reconstructed tensors
+            # feed straight back into the float64 compute substrate.
             name: CompressedTensor(
-                reconstructed=tensor.dequantize(),
+                reconstructed=tensor.dequantize(dtype=np.float64),
                 compressed_bytes=tensor.storage().compressed_bytes,
             )
             for name, tensor in quantized.quantized.items()

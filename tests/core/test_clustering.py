@@ -77,6 +77,21 @@ class TestKmeansCluster:
         l2 = result.trace.l2_norms
         assert all(b <= a + 1e-9 for a, b in zip(l2, l2[1:]))
 
+    def test_max_iterations_exhausted_not_converged(self, gaussian_values):
+        """Budget too small to reach the assignment fixpoint: the run stops,
+        reports converged=False, and still returns usable state."""
+        result = kmeans_cluster(gaussian_values, 3, max_iterations=1)
+        assert not result.converged
+        assert result.iterations == 2  # init + the single allowed update
+        assert result.centroids.size == 8
+        assert result.assignment.size == gaussian_values.size
+        assert result.final_l1 == result.trace.l1_norms[-1]
+
+    def test_non_converged_still_improves_over_init(self, gaussian_values):
+        result = kmeans_cluster(gaussian_values, 3, max_iterations=2)
+        assert not result.converged
+        assert result.trace.l2_norms[-1] < result.trace.l2_norms[0]
+
 
 class TestPaperClaims:
     """The comparative claims of Section IV-B and Figure 2."""

@@ -27,7 +27,7 @@ class TestQuantizeTensor:
 
     def test_outliers_stored_exactly(self, layer_weights):
         quantized, _ = quantize_tensor(layer_weights, bits=3)
-        restored = quantized.dequantize().ravel()
+        restored = quantized.dequantize(dtype=np.float64).ravel()
         original = layer_weights.ravel()
         np.testing.assert_array_equal(
             restored[quantized.outlier_positions], original[quantized.outlier_positions]
@@ -35,7 +35,7 @@ class TestQuantizeTensor:
 
     def test_g_weights_map_to_centroids(self, layer_weights):
         quantized, _ = quantize_tensor(layer_weights, bits=3)
-        restored = quantized.dequantize().ravel()
+        restored = quantized.dequantize(dtype=np.float64).ravel()
         mask = np.zeros(restored.size, dtype=bool)
         mask[quantized.outlier_positions] = True
         gaussian_restored = restored[~mask]
@@ -102,12 +102,32 @@ class TestQuantizeTensor:
     def test_roundtrip_properties(self, bits, seed):
         weights = np.random.default_rng(seed).normal(0, 0.05, size=600)
         quantized, _ = quantize_tensor(weights, bits=bits)
-        restored = quantized.dequantize()
+        restored = quantized.dequantize(dtype=np.float64)
         # Reconstruction never widens the value range.
         assert restored.min() >= weights.min() - 1e-12
         assert restored.max() <= weights.max() + 1e-12
         # Codes round-trip through the packed representation.
         assert quantized.codes().size == quantized.gaussian_count
+
+
+class TestDequantizeDtype:
+    def test_default_is_float32(self, layer_weights):
+        quantized, _ = quantize_tensor(layer_weights, bits=3)
+        assert quantized.dequantize().dtype == np.float32
+
+    def test_dtype_parameter_honored(self, layer_weights):
+        quantized, _ = quantize_tensor(layer_weights, bits=3)
+        assert quantized.dequantize(dtype=np.float64).dtype == np.float64
+        assert quantized.dequantize(dtype=np.float16).dtype == np.float16
+
+    def test_float32_is_cast_of_float64(self, layer_weights):
+        """The decode computes in float64 and casts once, so the float32
+        output is exactly the rounded float64 reconstruction."""
+        quantized, _ = quantize_tensor(layer_weights, bits=3)
+        exact = quantized.dequantize(dtype=np.float64)
+        np.testing.assert_array_equal(
+            quantized.dequantize(), exact.astype(np.float32)
+        )
 
 
 class TestQuantizationError:

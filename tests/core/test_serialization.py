@@ -64,6 +64,78 @@ class TestRoundTrip:
         assert size < fp32_bytes / 4
 
 
+class TestPathNormalization:
+    def test_suffixless_path_round_trips(self, quantized, tmp_path):
+        """np.savez appends .npz when absent; save must report the real file."""
+        _, original = quantized
+        target = tmp_path / "model"  # no suffix
+        size = save_quantized_model(original, target)
+        written = tmp_path / "model.npz"
+        assert written.exists()
+        assert size == written.stat().st_size
+        loaded = load_quantized_model(written)
+        assert set(loaded.quantized) == set(original.quantized)
+
+    def test_other_suffix_gets_npz_appended(self, quantized, tmp_path):
+        _, original = quantized
+        save_quantized_model(original, tmp_path / "model.v2")
+        assert (tmp_path / "model.v2.npz").exists()
+
+    def test_npz_suffix_unchanged(self, quantized, tmp_path):
+        _, original = quantized
+        size = save_quantized_model(original, tmp_path / "model.npz")
+        assert size == (tmp_path / "model.npz").stat().st_size
+
+
+class TestPickleFreeFormat:
+    def test_loads_without_allow_pickle(self, quantized, tmp_path):
+        _, original = quantized
+        path = tmp_path / "model.npz"
+        save_quantized_model(original, path)
+        with np.load(path, allow_pickle=False) as archive:
+            for key in archive.files:
+                assert archive[key].dtype != object, key
+
+    def test_index_arrays_are_unicode(self, quantized, tmp_path):
+        _, original = quantized
+        path = tmp_path / "model.npz"
+        save_quantized_model(original, path)
+        with np.load(path) as archive:
+            assert archive["index::fc"].dtype.kind == "U"
+            assert archive["index::embeddings"].dtype.kind == "U"
+
+    def test_empty_index_round_trips(self, tmp_path):
+        """Embedding-only model: the fc index is an empty (non-object) array."""
+        model = BertForSequenceClassification(MICRO_CONFIG, num_labels=3, rng=0)
+        original = quantize_model(
+            model, weight_bits=3, embedding_bits=3, quantize_weights=False
+        )
+        path = tmp_path / "model.npz"
+        save_quantized_model(original, path)
+        loaded = load_quantized_model(path)
+        assert loaded.fc_names == ()
+        assert loaded.embedding_names == original.embedding_names
+
+
+class TestIterationsPreserved:
+    def test_iterations_survive_round_trip(self, quantized, tmp_path):
+        _, original = quantized
+        path = tmp_path / "model.npz"
+        save_quantized_model(original, path)
+        loaded = load_quantized_model(path)
+        assert loaded.iterations == original.iterations
+        assert set(loaded.iterations) == set(loaded.quantized)
+
+    def test_version_tag_written(self, quantized, tmp_path):
+        from repro.core.serialization import FORMAT_VERSION
+
+        _, original = quantized
+        path = tmp_path / "model.npz"
+        save_quantized_model(original, path)
+        with np.load(path) as archive:
+            assert int(archive["index::version"][0]) == FORMAT_VERSION
+
+
 class TestErrors:
     def test_missing_file(self, tmp_path):
         with pytest.raises(SerializationError):
@@ -73,4 +145,10 @@ class TestErrors:
         path = tmp_path / "bad.npz"
         path.write_bytes(b"garbage")
         with pytest.raises(SerializationError):
+            load_quantized_model(path)
+
+    def test_unsupported_future_version(self, tmp_path):
+        path = tmp_path / "future.npz"
+        np.savez(path, **{"index::version": np.array([99], dtype=np.int64)})
+        with pytest.raises(SerializationError, match="version"):
             load_quantized_model(path)

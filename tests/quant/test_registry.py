@@ -63,7 +63,8 @@ class TestGoboAdapter:
         core = quantize_model(model, weight_bits=3, embedding_bits=4)
         for name in selection.fc_names:
             np.testing.assert_array_equal(
-                adapter.tensors[name].reconstructed, core.quantized[name].dequantize()
+                adapter.tensors[name].reconstructed,
+                core.quantized[name].dequantize(dtype=np.float64),
             )
 
     def test_no_finetuning_flag(self):

@@ -18,6 +18,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_quantize_defaults(self):
+        args = build_parser().parse_args(["quantize"])
+        assert args.command == "quantize"
+        assert args.config == "tiny-bert-base"
+        assert args.weight_bits == 3
+        assert args.workers is None
+        assert args.report is False
+
+    def test_quantize_flags(self):
+        args = build_parser().parse_args(
+            ["quantize", "--workers", "4", "--report", "--embedding-bits", "none"]
+        )
+        assert args.workers == 4
+        assert args.report is True
+        assert args.embedding_bits == "none"
+
 
 class TestCommands:
     def test_list_prints_all_targets(self, capsys):
@@ -39,3 +55,33 @@ class TestCommands:
         assert main(["run", "fig3-curve"]) == 0
         out = capsys.readouterr().out
         assert "3-bit" in out and "10.67x" in out
+
+    def test_run_engine_report(self, capsys):
+        assert main(["run", "engine"]) == 0
+        out = capsys.readouterr().out
+        assert "Per-layer quantization report" in out
+        assert "workers=" in out
+
+    def test_quantize_with_report_and_archive(self, capsys, tmp_path):
+        out_path = tmp_path / "model"  # suffix-less on purpose
+        assert main([
+            "quantize", "--workers", "2", "--report",
+            "--embedding-bits", "none", "--out", str(out_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "tiny-bert-base" in out
+        assert "2 workers" in out
+        assert "Per-layer quantization report" in out
+        assert (tmp_path / "model.npz").exists()
+
+    def test_quantize_unknown_config(self, capsys):
+        assert main(["quantize", "--config", "mega-bert"]) == 2
+        assert capsys.readouterr().err
+
+    def test_quantize_bad_embedding_bits(self, capsys):
+        assert main(["quantize", "--embedding-bits", "lots"]) == 2
+        assert "embedding-bits" in capsys.readouterr().err
+
+    def test_quantize_negative_workers_clean_error(self, capsys):
+        assert main(["quantize", "--workers", "-1"]) == 2
+        assert "workers" in capsys.readouterr().err

@@ -43,6 +43,21 @@ class TestRoundTrip:
     def test_empty(self):
         assert unpack_bits(pack_bits(np.array([], dtype=np.int64), 3), 3, 0).size == 0
 
+    @pytest.mark.parametrize("bits", [1, 2, 3, 4, 5, 6, 7, 8])
+    def test_empty_round_trip_all_widths(self, bits):
+        packed = pack_bits(np.array([], dtype=np.int64), bits)
+        assert packed == b""
+        recovered = unpack_bits(packed, bits, 0)
+        assert recovered.size == 0
+        assert recovered.dtype == np.int64
+
+    @pytest.mark.parametrize("bits", [1, 2, 3, 4, 5, 6, 7, 8])
+    def test_single_value_all_widths(self, bits):
+        value = (1 << bits) - 1
+        packed = pack_bits(np.array([value]), bits)
+        assert len(packed) == 1
+        assert unpack_bits(packed, bits, 1).tolist() == [value]
+
     def test_max_values(self):
         values = np.full(17, 7)
         assert unpack_bits(pack_bits(values, 3), 3, 17).tolist() == [7] * 17

@@ -32,6 +32,7 @@ Subpackages
 
 from repro.core import (
     GoboQuantizedTensor,
+    LayerFailure,
     LayerPolicy,
     OutlierDetector,
     QuantizedModel,
@@ -41,12 +42,15 @@ from repro.core import (
     quantize_model,
     quantize_state_dict,
     quantize_tensor,
+    validate_tensor,
+    verify_archive,
 )
 
 __version__ = "1.0.0"
 
 __all__ = [
     "GoboQuantizedTensor",
+    "LayerFailure",
     "LayerPolicy",
     "OutlierDetector",
     "QuantizedModel",
@@ -57,4 +61,6 @@ __all__ = [
     "quantize_model",
     "quantize_state_dict",
     "quantize_tensor",
+    "validate_tensor",
+    "verify_archive",
 ]

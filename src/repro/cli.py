@@ -7,6 +7,8 @@ Subcommands::
     python -m repro run all                   # everything (trains on first use)
     python -m repro prewarm                   # fine-tune + cache all models
     python -m repro quantize --workers 4 --report   # compress a zoo model
+    python -m repro quantize --on-error fp32-fallback     # degrade, don't die
+    python -m repro verify-archive model.npz  # classify an archive on disk
 """
 
 from __future__ import annotations
@@ -95,6 +97,8 @@ def _cmd_quantize(args: argparse.Namespace) -> int:
             embedding_bits=embedding_bits,
             method=args.method,
             workers=args.workers,
+            on_error=args.on_error,
+            validation=args.validation,
         )
     except QuantizationError as exc:
         print(exc, file=sys.stderr)
@@ -109,6 +113,15 @@ def _cmd_quantize(args: argparse.Namespace) -> int:
         f"compression {quantized.model_compression_ratio():.2f}x, "
         f"outliers {quantized.outlier_fraction() * 100:.3f}%"
     )
+    if report.failures:
+        print(
+            f"WARNING: {len(report.failures)} layer(s) degraded "
+            f"(on_error={report.on_error}): "
+            + ", ".join(
+                f"{f.name} [{f.action}]" for f in report.failures
+            ),
+            file=sys.stderr,
+        )
     if args.report:
         print()
         print(report.render())
@@ -116,6 +129,16 @@ def _cmd_quantize(args: argparse.Namespace) -> int:
         size = save_quantized_model(quantized, args.out)
         print(f"\narchive written: {args.out} ({size / 1024:.1f} KiB)")
     return 0
+
+
+def _cmd_verify_archive(args: argparse.Namespace) -> int:
+    from repro.core.serialization import verify_archive
+
+    check = verify_archive(args.path)
+    version = "?" if check.version is None else str(check.version)
+    print(f"{check.path}: {check.status} (format version {version})")
+    print(check.detail)
+    return 0 if check.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -154,9 +177,24 @@ def build_parser() -> argparse.ArgumentParser:
     quantize.add_argument(
         "--report", action="store_true", help="print the per-layer timing report"
     )
+    quantize.add_argument(
+        "--on-error", default=None,
+        choices=("fail", "skip", "fp32-fallback", "retry-higher-bits"),
+        help="per-layer failure policy; default REPRO_ON_ERROR or fail",
+    )
+    quantize.add_argument(
+        "--validation", default="strict", choices=("strict", "repair", "skip"),
+        help="input validation policy for NaN/Inf/degenerate tensors",
+    )
     quantize.add_argument("--out", default=None, help="write the .npz archive here")
     quantize.add_argument("--seed", type=int, default=0, help="model init seed")
     quantize.set_defaults(func=_cmd_quantize)
+    verify = sub.add_parser(
+        "verify-archive",
+        help="classify an archive: ok / missing / truncated / checksum-mismatch / version-unknown",
+    )
+    verify.add_argument("path", help="path to the .npz archive")
+    verify.set_defaults(func=_cmd_verify_archive)
     return parser
 
 

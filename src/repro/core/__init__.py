@@ -31,11 +31,15 @@ from repro.core.outliers import (
     OutlierSplit,
 )
 from repro.core.parallel import (
+    LayerFailure,
     LayerJob,
     LayerRecord,
+    ON_ERROR_POLICIES,
     QuantizationReport,
+    default_on_error,
     default_workers,
     quantize_layers,
+    resolve_on_error,
     resolve_workers,
 )
 from repro.core.policy import LayerPolicy, PolicyRule, mixed_precision_policy
@@ -44,18 +48,37 @@ from repro.core.quantizer import (
     quantization_error,
     quantize_tensor,
 )
-from repro.core.serialization import load_quantized_model, save_quantized_model
+from repro.core.serialization import (
+    ArchiveCheck,
+    load_quantized_model,
+    save_quantized_model,
+    verify_archive,
+)
+from repro.core.validate import (
+    TensorDiagnosis,
+    VALIDATION_POLICIES,
+    ValidationOutcome,
+    diagnose_tensor,
+    validate_tensor,
+)
 
 __all__ = [
     "DEFAULT_LOG_PROB_THRESHOLD",
+    "ON_ERROR_POLICIES",
+    "VALIDATION_POLICIES",
+    "ArchiveCheck",
     "ClusteringResult",
     "CodeEntropyReport",
     "ConvergenceTrace",
     "code_entropy",
+    "diagnose_tensor",
     "GoboQuantizedTensor",
+    "LayerFailure",
     "LayerJob",
     "LayerPolicy",
     "LayerRecord",
+    "TensorDiagnosis",
+    "ValidationOutcome",
     "OutlierDetector",
     "OutlierSplit",
     "ParameterSelection",
@@ -72,7 +95,11 @@ __all__ = [
     "linear_centroids",
     "load_quantized_model",
     "quantize_layers",
+    "default_on_error",
+    "resolve_on_error",
     "resolve_workers",
+    "validate_tensor",
+    "verify_archive",
     "mixed_precision_policy",
     "potential_compression_ratio",
     "quantization_error",

@@ -22,7 +22,12 @@ import numpy as np
 
 from repro.core.formats import BYTES_PER_FP32, StorageReport
 from repro.core.outliers import DEFAULT_LOG_PROB_THRESHOLD
-from repro.core.parallel import LayerJob, QuantizationReport, quantize_layers
+from repro.core.parallel import (
+    FaultInjector,
+    LayerJob,
+    QuantizationReport,
+    quantize_layers,
+)
 from repro.core.policy import LayerPolicy
 from repro.core.quantizer import GoboQuantizedTensor
 from repro.errors import QuantizationError
@@ -139,6 +144,9 @@ def quantize_state_dict(
     method: str = "gobo",
     log_prob_threshold: float = DEFAULT_LOG_PROB_THRESHOLD,
     workers: int | None = 1,
+    on_error: str | None = "fail",
+    validation: str = "strict",
+    fault_injector: FaultInjector | None = None,
 ) -> QuantizedModel:
     """Quantize selected tensors of a state dict; pass the rest through.
 
@@ -152,6 +160,13 @@ def quantize_state_dict(
     ``REPRO_WORKERS`` environment default).  The output is bit-for-bit
     identical for every worker count; the engine's per-layer timings are
     attached as ``QuantizedModel.report``.
+
+    ``on_error``/``validation``/``fault_injector`` are forwarded to the
+    engine (see :mod:`repro.core.parallel`).  A layer resolved by
+    ``fp32-fallback`` (or by the ``skip`` validation policy) stays in the
+    FP32 pass-through dict, so the model remains loadable; a layer dropped
+    by ``on_error="skip"`` is removed from the output entirely — the
+    caller opted into an incomplete model and ``report.failures`` says so.
     """
     policy = weight_bits if isinstance(weight_bits, LayerPolicy) else LayerPolicy.uniform(weight_bits)
     missing = [n for n in (*fc_names, *embedding_names) if n not in state]
@@ -167,9 +182,17 @@ def quantize_state_dict(
         log_prob_threshold=log_prob_threshold,
         method=method,
         workers=workers,
+        on_error=on_error,
+        validation=validation,
+        fault_injector=fault_injector,
     )
 
-    fp32 = {name: value for name, value in state.items() if name not in quantized}
+    dropped = {failure.name for failure in report.failures if failure.dropped}
+    fp32 = {
+        name: value
+        for name, value in state.items()
+        if name not in quantized and name not in dropped
+    }
     return QuantizedModel(
         quantized=quantized,
         fp32=fp32,
@@ -188,12 +211,15 @@ def quantize_model(
     log_prob_threshold: float = DEFAULT_LOG_PROB_THRESHOLD,
     quantize_weights: bool = True,
     workers: int | None = 1,
+    on_error: str | None = "fail",
+    validation: str = "strict",
+    fault_injector: FaultInjector | None = None,
 ) -> QuantizedModel:
     """Quantize a live model's BERT FC layers and embedding tables.
 
     Set ``quantize_weights=False`` for the Figure 4 embedding-only scenario.
-    ``workers`` is forwarded to the layer-parallel engine (see
-    :func:`quantize_state_dict`).
+    ``workers``, ``on_error``, ``validation`` and ``fault_injector`` are
+    forwarded to the layer-parallel engine (see :func:`quantize_state_dict`).
     """
     selection = select_parameters(model)
     return quantize_state_dict(
@@ -205,4 +231,7 @@ def quantize_model(
         method=method,
         log_prob_threshold=log_prob_threshold,
         workers=workers,
+        on_error=on_error,
+        validation=validation,
+        fault_injector=fault_injector,
     )

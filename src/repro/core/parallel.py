@@ -22,6 +22,22 @@ Worker resolution:
 * ``workers=None`` defers to the ``REPRO_WORKERS`` environment variable
   (default 1) so experiment pipelines can be parallelized without threading
   a parameter through every call site.
+
+Failure isolation (``on_error``): one pathological tensor — zero-variance
+weights, NaN/Inf entries — must never abort a whole-model run.  Each job is
+attempted in isolation; what happens when it raises is a policy:
+
+* ``"fail"`` (default): re-raise, the historical fail-fast behaviour;
+* ``"skip"``: drop the layer from the output entirely;
+* ``"fp32-fallback"``: ship the layer unquantized (the PTQ literature's
+  per-layer fallback-to-higher-precision knob, taken to FP32);
+* ``"retry-higher-bits"``: retry the layer at ``bits+1, bits+2, … 8``; if
+  every retry fails, fall back to FP32.
+
+Every non-"fail" outcome is captured as a :class:`LayerFailure` in the
+report, so degraded runs are loud in the instrumentation even though they
+complete.  ``on_error=None`` defers to the ``REPRO_ON_ERROR`` environment
+variable (default ``"fail"``).
 """
 
 from __future__ import annotations
@@ -30,17 +46,25 @@ import os
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import Callable, Iterable, Mapping
 
 import numpy as np
 
 from repro.core.formats import BYTES_PER_FP32
 from repro.core.outliers import DEFAULT_LOG_PROB_THRESHOLD
 from repro.core.quantizer import GoboQuantizedTensor, quantize_tensor
-from repro.errors import QuantizationError
+from repro.errors import LayerSkipped, QuantizationError
 from repro.utils.tables import format_table
 
 WORKERS_ENV = "REPRO_WORKERS"
+ON_ERROR_ENV = "REPRO_ON_ERROR"
+ON_ERROR_POLICIES = ("fail", "skip", "fp32-fallback", "retry-higher-bits")
+MAX_RETRY_BITS = 8
+
+# A fault injector is called as ``injector(index, job, weights)`` before each
+# layer is quantized; it may raise (simulating a layer failure) or return a
+# replacement weight array (poisoning).  See ``repro.testing.faults``.
+FaultInjector = Callable[[int, "LayerJob", np.ndarray], "np.ndarray | None"]
 
 
 @dataclass(frozen=True)
@@ -71,18 +95,59 @@ class LayerRecord:
         return self.original_bytes / self.compressed_bytes
 
 
+@dataclass(frozen=True)
+class LayerFailure:
+    """One layer that did not quantize at its requested bit width.
+
+    ``action`` records how the engine resolved it: ``"skip"`` (dropped),
+    ``"fp32-fallback"`` (shipped unquantized), ``"validation-skip"``
+    (rejected by the ``skip`` validation policy, shipped unquantized) or
+    ``"retry-higher-bits"`` (recovered at ``recovered_bits`` — the layer
+    *is* quantized, just wider than requested).  ``attempts`` lists every
+    bit width tried.
+    """
+
+    name: str
+    bits: int
+    action: str
+    error_type: str
+    message: str
+    attempts: tuple[int, ...] = ()
+    recovered_bits: int | None = None
+
+    @property
+    def quantized_anyway(self) -> bool:
+        return self.recovered_bits is not None
+
+    @property
+    def dropped(self) -> bool:
+        return self.action == "skip"
+
+
 @dataclass
 class QuantizationReport:
     """Per-layer instrumentation of one engine run.
 
     ``wall_seconds`` is the end-to-end fan-out time; ``layer_seconds`` sums
     the per-layer times, so ``layer_seconds / wall_seconds`` is the effective
-    parallelism actually achieved.
+    parallelism actually achieved.  ``failures`` records every layer that
+    needed a degradation policy (empty on a clean run).
     """
 
     workers: int
     wall_seconds: float = 0.0
     layers: list[LayerRecord] = field(default_factory=list)
+    failures: list[LayerFailure] = field(default_factory=list)
+    on_error: str = "fail"
+
+    @property
+    def ok(self) -> bool:
+        """True when every layer quantized cleanly at its requested width."""
+        return not self.failures
+
+    @property
+    def failed_layer_names(self) -> tuple[str, ...]:
+        return tuple(failure.name for failure in self.failures)
 
     @property
     def layer_seconds(self) -> float:
@@ -133,6 +198,24 @@ class QuantizationReport:
             f"(effective parallelism {self.effective_parallelism:.2f}x) "
             f"CR={self.compression_ratio:.2f}x"
         )
+        if self.failures:
+            failure_rows = [
+                [
+                    failure.name,
+                    failure.bits,
+                    failure.action,
+                    "" if failure.recovered_bits is None else str(failure.recovered_bits),
+                    failure.error_type,
+                    failure.message[:60],
+                ]
+                for failure in self.failures
+            ]
+            failure_table = format_table(
+                ["Layer", "Bits", "Action", "Recovered", "Error", "Message"],
+                failure_rows,
+                title=f"Layer failures (on_error={self.on_error})",
+            )
+            return f"{table}\n{footer}\n\n{failure_table}"
         return f"{table}\n{footer}"
 
 
@@ -163,6 +246,34 @@ def resolve_workers(workers: int | None) -> int:
     return workers
 
 
+def default_on_error() -> str:
+    """Failure policy from the ``REPRO_ON_ERROR`` environment (default fail)."""
+    raw = os.environ.get(ON_ERROR_ENV)
+    if not raw:
+        return "fail"
+    return resolve_on_error(raw)
+
+
+def resolve_on_error(on_error: str | None) -> str:
+    """Normalize an ``on_error`` argument to a concrete policy name."""
+    if on_error is None:
+        return default_on_error()
+    if on_error not in ON_ERROR_POLICIES:
+        raise QuantizationError(
+            f"unknown on_error policy {on_error!r}; use one of {ON_ERROR_POLICIES}"
+        )
+    return on_error
+
+
+@dataclass(frozen=True)
+class _JobOutcome:
+    """Internal: what one isolated job attempt produced."""
+
+    tensor: GoboQuantizedTensor | None
+    record: LayerRecord | None
+    failure: LayerFailure | None
+
+
 def quantize_layers(
     state: Mapping[str, np.ndarray],
     jobs: Iterable[LayerJob],
@@ -170,33 +281,47 @@ def quantize_layers(
     method: str = "gobo",
     max_iterations: int = 50,
     workers: int | None = 1,
+    on_error: str | None = "fail",
+    validation: str = "strict",
+    fault_injector: FaultInjector | None = None,
 ) -> tuple[dict[str, GoboQuantizedTensor], dict[str, int], QuantizationReport]:
     """Quantize every job's tensor, optionally fanning out over threads.
 
     Results are keyed in job order regardless of completion order, and each
     job is an independent pure computation, so the output is bit-for-bit
-    identical for every worker count.  Returns ``(quantized, iterations,
-    report)``.
+    identical for every worker count — including runs where some layers fail
+    and a degradation policy applies (see module docstring for ``on_error``
+    and :mod:`repro.core.validate` for ``validation``).  ``fault_injector``
+    is the deterministic test hook used by :mod:`repro.testing.faults`.
+    Returns ``(quantized, iterations, report)``; failed layers appear in
+    ``report.failures`` instead of ``quantized``.
     """
     jobs = list(jobs)
     missing = [job.name for job in jobs if job.name not in state]
     if missing:
         raise QuantizationError(f"state dict is missing tensors: {missing}")
     workers = resolve_workers(workers)
+    on_error = resolve_on_error(on_error)
 
-    def run(job: LayerJob) -> tuple[GoboQuantizedTensor, LayerRecord]:
+    def attempt(index: int, job: LayerJob, bits: int) -> tuple[GoboQuantizedTensor, LayerRecord]:
         started = time.perf_counter()
+        weights = state[job.name]
+        if fault_injector is not None:
+            replacement = fault_injector(index, job, weights)
+            if replacement is not None:
+                weights = replacement
         tensor, result = quantize_tensor(
-            state[job.name],
-            bits=job.bits,
+            weights,
+            bits=bits,
             log_prob_threshold=log_prob_threshold,
             method=method,
             max_iterations=max_iterations,
+            validation=validation,
         )
         elapsed = time.perf_counter() - started
         record = LayerRecord(
             name=job.name,
-            bits=job.bits,
+            bits=bits,
             seconds=elapsed,
             iterations=result.iterations,
             converged=result.converged,
@@ -206,19 +331,83 @@ def quantize_layers(
         )
         return tensor, record
 
+    def run(indexed_job: tuple[int, LayerJob]) -> _JobOutcome:
+        index, job = indexed_job
+        attempts = [job.bits]
+        try:
+            tensor, record = attempt(index, job, job.bits)
+            return _JobOutcome(tensor=tensor, record=record, failure=None)
+        except LayerSkipped as exc:
+            # The skip validation policy always ships the layer FP32,
+            # independent of on_error.
+            return _JobOutcome(
+                tensor=None,
+                record=None,
+                failure=LayerFailure(
+                    name=job.name,
+                    bits=job.bits,
+                    action="validation-skip",
+                    error_type=type(exc).__name__,
+                    message=str(exc),
+                    attempts=tuple(attempts),
+                ),
+            )
+        except Exception as exc:  # noqa: BLE001 — isolation is the point
+            if on_error == "fail":
+                raise
+            if on_error == "retry-higher-bits":
+                for retry_bits in range(job.bits + 1, MAX_RETRY_BITS + 1):
+                    attempts.append(retry_bits)
+                    try:
+                        tensor, record = attempt(index, job, retry_bits)
+                    except Exception:  # noqa: BLE001 — keep widening
+                        continue
+                    return _JobOutcome(
+                        tensor=tensor,
+                        record=record,
+                        failure=LayerFailure(
+                            name=job.name,
+                            bits=job.bits,
+                            action="retry-higher-bits",
+                            error_type=type(exc).__name__,
+                            message=str(exc),
+                            attempts=tuple(attempts),
+                            recovered_bits=retry_bits,
+                        ),
+                    )
+                action = "fp32-fallback"  # every retry failed
+            else:
+                action = on_error
+            return _JobOutcome(
+                tensor=None,
+                record=None,
+                failure=LayerFailure(
+                    name=job.name,
+                    bits=job.bits,
+                    action=action,
+                    error_type=type(exc).__name__,
+                    message=str(exc),
+                    attempts=tuple(attempts),
+                ),
+            )
+
+    indexed = list(enumerate(jobs))
     started = time.perf_counter()
     if workers == 1 or len(jobs) <= 1:
-        outcomes = [run(job) for job in jobs]
+        outcomes = [run(item) for item in indexed]
     else:
         with ThreadPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
-            outcomes = list(pool.map(run, jobs))
+            outcomes = list(pool.map(run, indexed))
     wall = time.perf_counter() - started
 
     quantized: dict[str, GoboQuantizedTensor] = {}
     iterations: dict[str, int] = {}
-    report = QuantizationReport(workers=workers, wall_seconds=wall)
-    for (tensor, record) in outcomes:
-        quantized[record.name] = tensor
-        iterations[record.name] = record.iterations
-        report.layers.append(record)
+    report = QuantizationReport(workers=workers, wall_seconds=wall, on_error=on_error)
+    for outcome in outcomes:
+        if outcome.record is not None and outcome.tensor is not None:
+            quantized[outcome.record.name] = outcome.tensor
+            iterations[outcome.record.name] = outcome.record.iterations
+            report.layers.append(outcome.record)
+        if outcome.failure is not None:
+            report.failures.append(outcome.failure)
     return quantized, iterations, report

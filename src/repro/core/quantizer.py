@@ -20,7 +20,8 @@ from repro.core.binning import assign_to_centroids
 from repro.core.clustering import ClusteringResult, gobo_cluster, kmeans_cluster
 from repro.core.formats import StorageReport, storage_report
 from repro.core.outliers import DEFAULT_LOG_PROB_THRESHOLD, OutlierDetector
-from repro.errors import QuantizationError
+from repro.core.validate import validate_tensor
+from repro.errors import LayerSkipped, QuantizationError
 from repro.utils.bitpack import pack_bits, unpack_bits
 
 
@@ -111,6 +112,7 @@ def quantize_tensor(
     log_prob_threshold: float = DEFAULT_LOG_PROB_THRESHOLD,
     method: str = "gobo",
     max_iterations: int = 50,
+    validation: str = "strict",
 ) -> tuple[GoboQuantizedTensor, ClusteringResult]:
     """Quantize one weight tensor with GOBO (or a baseline centroid method).
 
@@ -127,19 +129,39 @@ def quantize_tensor(
         L2 iteration) or ``"linear"`` (uniform partition, no iteration).
         All three share the same outlier handling, matching the paper's
         controlled comparison.
+    validation:
+        Input-validation policy (see :mod:`repro.core.validate`):
+        ``"strict"`` raises typed errors on NaN/Inf, zero-variance and
+        empty tensors; ``"repair"`` sanitizes non-finite entries and falls
+        back to linear binning when the Gaussian fit degenerates;
+        ``"skip"`` raises :class:`~repro.errors.LayerSkipped` so engine
+        callers can ship the layer unquantized.
     """
-    weights = np.asarray(weights)
-    if weights.size == 0:
-        raise QuantizationError("cannot quantize an empty tensor")
+    outcome = validate_tensor(weights, policy=validation)
+    if outcome.skipped:
+        raise LayerSkipped(
+            f"validation policy 'skip' rejected tensor: {outcome.diagnosis.describe()}"
+        )
+    weights = outcome.weights
+    if outcome.degenerate:
+        method = "linear"
     detector = OutlierDetector(log_prob_threshold)
     split = detector.split(weights)
     flat = np.asarray(weights, dtype=np.float64).ravel()
     outlier_mask = split.outlier_mask.ravel()
     gaussian_values = flat[~outlier_mask]
     if gaussian_values.size == 0:
-        raise QuantizationError(
-            "all weights were classified as outliers; raise the threshold"
-        )
+        if validation == "repair":
+            # Degenerate split: every weight scored below the threshold.
+            # Repair by treating the whole tensor as the G group with a
+            # distribution-free uniform partition.
+            outlier_mask = np.zeros_like(outlier_mask)
+            gaussian_values = flat
+            method = "linear"
+        else:
+            raise QuantizationError(
+                "all weights were classified as outliers; raise the threshold"
+            )
 
     if method == "gobo":
         result = gobo_cluster(gaussian_values, bits, max_iterations=max_iterations)

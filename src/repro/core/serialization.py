@@ -5,7 +5,7 @@ single ``.npz`` archive whose size is dominated by the bit-packed G-group
 codes — i.e. the file on disk realizes the ~10x compression the paper
 reports, not just the in-memory accounting.
 
-Layout (format version 2) per quantized tensor ``<name>``::
+Layout (format version 3) per quantized tensor ``<name>``::
 
     gobo::<name>::codes       packed bitstream (uint8)
     gobo::<name>::centroids   2^bits FP32 reconstruction table
@@ -25,24 +25,43 @@ Guarantees:
 * ``save_quantized_model`` normalizes paths the way ``np.savez`` does —
   a missing ``.npz`` suffix is appended — and returns the byte size of the
   file actually written.
+* **Atomic writes.** The archive is written to a temporary sibling, fsynced
+  and renamed into place (:func:`repro.utils.atomic.atomic_savez`): a crash
+  mid-save leaves the previous archive intact, never a truncated one.
+* **Checksummed contents.** Version-3 archives carry a SHA-256 digest over
+  every stored array (``index::checksum``); :func:`load_quantized_model`
+  verifies it and raises :class:`~repro.errors.ChecksumMismatchError` on bit
+  rot.  :func:`verify_archive` classifies an archive as intact / missing /
+  truncated / checksum-mismatched / version-unknown without constructing a
+  model.
 * The clustering iteration counts (``QuantizedModel.iterations``) survive
   the round-trip, so per-layer reports can be regenerated after a reload.
-* Version-1 archives (no iteration counts in ``meta``) still load; their
-  ``iterations`` dict comes back empty.
+* Version-1 archives (no iteration counts in ``meta``) and version-2
+  archives (no checksum) still load; the checksum verification is simply
+  skipped for them.
 """
 
 from __future__ import annotations
 
+import hashlib
 import zipfile
+from dataclasses import dataclass
 from pathlib import Path
+from typing import Mapping
 
 import numpy as np
 
 from repro.core.model_quantizer import QuantizedModel
 from repro.core.quantizer import GoboQuantizedTensor
-from repro.errors import SerializationError
+from repro.errors import (
+    ChecksumMismatchError,
+    SerializationError,
+    TruncatedArchiveError,
+)
+from repro.utils.atomic import atomic_savez
 
-FORMAT_VERSION = 2
+FORMAT_VERSION = 3
+CHECKSUM_KEY = "index::checksum"
 
 
 def _normalize_path(path: str | Path) -> Path:
@@ -53,12 +72,32 @@ def _normalize_path(path: str | Path) -> Path:
     return path
 
 
+def payload_checksum(payload: Mapping[str, np.ndarray]) -> bytes:
+    """SHA-256 digest over every array (except the checksum itself).
+
+    Keys are visited in sorted order and each contribution covers the key,
+    dtype, shape and raw bytes, so any bit flip in data *or* metadata — and
+    any added, dropped or renamed array — changes the digest.
+    """
+    digest = hashlib.sha256()
+    for key in sorted(payload):
+        if key == CHECKSUM_KEY:
+            continue
+        array = np.ascontiguousarray(payload[key])
+        digest.update(key.encode("utf-8"))
+        digest.update(str(array.dtype).encode("ascii"))
+        digest.update(repr(array.shape).encode("ascii"))
+        digest.update(array.tobytes())
+    return digest.digest()
+
+
 def save_quantized_model(model: QuantizedModel, path: str | Path) -> int:
     """Write ``model`` to ``path`` (npz). Returns the file size in bytes.
 
     ``np.savez`` silently appends ``.npz`` when the path lacks the suffix;
     the path is normalized the same way first so the size reported is that
-    of the file actually written.
+    of the file actually written.  The write is atomic (tmp + fsync +
+    rename) and the archive carries a SHA-256 content checksum.
     """
     payload: dict[str, np.ndarray] = {}
     for name, tensor in model.quantized.items():
@@ -74,75 +113,173 @@ def save_quantized_model(model: QuantizedModel, path: str | Path) -> int:
     payload["index::fc"] = np.array(model.fc_names, dtype=np.str_)
     payload["index::embeddings"] = np.array(model.embedding_names, dtype=np.str_)
     payload["index::version"] = np.array([FORMAT_VERSION], dtype=np.int64)
-    path = _normalize_path(path)
-    np.savez(path, **payload)
-    return path.stat().st_size
+    payload[CHECKSUM_KEY] = np.frombuffer(payload_checksum(payload), dtype=np.uint8)
+    return atomic_savez(_normalize_path(path), payload)
+
+
+def _read_archive(path: Path) -> dict[str, np.ndarray]:
+    """Eagerly read every array of the archive at ``path``.
+
+    Distinguishes a container that cannot be opened (missing / truncated /
+    not a zip → :class:`TruncatedArchiveError`) from one that opens but
+    whose members fail to decode (zip-CRC failure on a flipped bit →
+    :class:`ChecksumMismatchError`).
+    """
+    if not path.exists():
+        raise SerializationError(f"no such archive: {path}")
+    try:
+        archive = np.load(path)
+    except (OSError, ValueError, EOFError, zipfile.BadZipFile) as exc:
+        raise TruncatedArchiveError(
+            f"cannot read archive {path}: not a valid npz container ({exc})"
+        ) from exc
+    with archive:
+        try:
+            return {key: archive[key] for key in archive.files}
+        except (OSError, ValueError, EOFError, KeyError, zipfile.BadZipFile) as exc:
+            raise ChecksumMismatchError(
+                f"archive {path} is corrupt: a stored array failed to decode ({exc})"
+            ) from exc
+
+
+def _archive_version(arrays: Mapping[str, np.ndarray], path: Path) -> int:
+    version = 1
+    if "index::version" in arrays:
+        version = int(arrays["index::version"][0])
+    if not 1 <= version <= FORMAT_VERSION:
+        raise SerializationError(
+            f"archive {path} has format version {version}; "
+            f"this reader supports 1..{FORMAT_VERSION}"
+        )
+    return version
+
+
+def _verify_checksum(arrays: Mapping[str, np.ndarray], path: Path) -> None:
+    if CHECKSUM_KEY not in arrays:
+        raise ChecksumMismatchError(
+            f"archive {path} declares format version >= 3 but carries no checksum"
+        )
+    recorded = bytes(np.asarray(arrays[CHECKSUM_KEY], dtype=np.uint8).tobytes())
+    actual = payload_checksum(arrays)
+    if recorded != actual:
+        raise ChecksumMismatchError(
+            f"archive {path} failed checksum verification: "
+            f"recorded {recorded.hex()[:16]}…, computed {actual.hex()[:16]}…"
+        )
 
 
 def load_quantized_model(path: str | Path) -> QuantizedModel:
     """Read a :class:`QuantizedModel` written by :func:`save_quantized_model`.
 
     Archives are loaded with ``allow_pickle=False`` (the format stores no
-    object arrays), and the per-layer iteration counts recorded at
+    object arrays), version-3 archives are checksum-verified before any
+    tensor is reconstructed, and the per-layer iteration counts recorded at
     quantization time are restored.
     """
     path = Path(path)
-    if not path.exists():
-        raise SerializationError(f"no such archive: {path}")
-    try:
-        archive = np.load(path)
-    except (OSError, ValueError, zipfile.BadZipFile) as exc:
-        raise SerializationError(f"cannot read archive {path}: {exc}") from exc
-    with archive:
-        version = 1
-        if "index::version" in archive.files:
-            version = int(archive["index::version"][0])
-        if not 1 <= version <= FORMAT_VERSION:
-            raise SerializationError(
-                f"archive {path} has format version {version}; "
-                f"this reader supports 1..{FORMAT_VERSION}"
-            )
-        names = {
-            key.split("::", 2)[1]
-            for key in archive.files
-            if key.startswith("gobo::") and key.endswith("::meta")
-        }
-        quantized: dict[str, GoboQuantizedTensor] = {}
-        iterations: dict[str, int] = {}
-        for name in names:
-            try:
-                meta = archive[f"gobo::{name}::meta"]
-                if version >= 2:
-                    bits, layer_iterations, shape = int(meta[0]), int(meta[1]), meta[2:]
-                else:
-                    bits, layer_iterations, shape = int(meta[0]), 0, meta[1:]
-                tensor = GoboQuantizedTensor(
-                    shape=tuple(int(d) for d in shape),
-                    bits=bits,
-                    centroids=archive[f"gobo::{name}::centroids"].astype(np.float64),
-                    packed_codes=archive[f"gobo::{name}::codes"].tobytes(),
-                    outlier_positions=archive[f"gobo::{name}::positions"].astype(np.int64),
-                    outlier_values=archive[f"gobo::{name}::outliers"].astype(np.float64),
-                )
-            except KeyError as exc:
-                raise SerializationError(f"archive missing field for {name}: {exc}") from exc
-            quantized[name] = tensor
-            if layer_iterations > 0:
-                iterations[name] = layer_iterations
-        fp32 = {
-            key[len("fp32::"):]: archive[key].astype(np.float64)
-            for key in archive.files
-            if key.startswith("fp32::")
-        }
+    arrays = _read_archive(path)
+    version = _archive_version(arrays, path)
+    if version >= 3:
+        _verify_checksum(arrays, path)
+    names = {
+        key.split("::", 2)[1]
+        for key in arrays
+        if key.startswith("gobo::") and key.endswith("::meta")
+    }
+    quantized: dict[str, GoboQuantizedTensor] = {}
+    iterations: dict[str, int] = {}
+    for name in names:
         try:
-            fc_names = tuple(str(n) for n in archive["index::fc"])
-            embedding_names = tuple(str(n) for n in archive["index::embeddings"])
+            meta = arrays[f"gobo::{name}::meta"]
+            if version >= 2:
+                bits, layer_iterations, shape = int(meta[0]), int(meta[1]), meta[2:]
+            else:
+                bits, layer_iterations, shape = int(meta[0]), 0, meta[1:]
+            tensor = GoboQuantizedTensor(
+                shape=tuple(int(d) for d in shape),
+                bits=bits,
+                centroids=arrays[f"gobo::{name}::centroids"].astype(np.float64),
+                packed_codes=arrays[f"gobo::{name}::codes"].tobytes(),
+                outlier_positions=arrays[f"gobo::{name}::positions"].astype(np.int64),
+                outlier_values=arrays[f"gobo::{name}::outliers"].astype(np.float64),
+            )
         except KeyError as exc:
-            raise SerializationError(f"archive missing index: {exc}") from exc
+            raise SerializationError(f"archive missing field for {name}: {exc}") from exc
+        quantized[name] = tensor
+        if layer_iterations > 0:
+            iterations[name] = layer_iterations
+    fp32 = {
+        key[len("fp32::"):]: arrays[key].astype(np.float64)
+        for key in arrays
+        if key.startswith("fp32::")
+    }
+    try:
+        fc_names = tuple(str(n) for n in arrays["index::fc"])
+        embedding_names = tuple(str(n) for n in arrays["index::embeddings"])
+    except KeyError as exc:
+        raise SerializationError(f"archive missing index: {exc}") from exc
     return QuantizedModel(
         quantized=quantized,
         fp32=fp32,
         fc_names=fc_names,
         embedding_names=embedding_names,
         iterations=iterations,
+    )
+
+
+@dataclass(frozen=True)
+class ArchiveCheck:
+    """The classification produced by :func:`verify_archive`.
+
+    ``status`` is one of ``"ok"`` (version-3, checksum verified),
+    ``"ok-unchecksummed"`` (readable legacy version-1/2 archive),
+    ``"missing"``, ``"truncated"``, ``"checksum-mismatch"`` or
+    ``"version-unknown"``.
+    """
+
+    path: Path
+    status: str
+    version: int | None
+    detail: str
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("ok", "ok-unchecksummed")
+
+
+def verify_archive(path: str | Path) -> ArchiveCheck:
+    """Classify the archive at ``path`` without constructing a model.
+
+    Distinguishes the four failure modes a durable store must tell apart:
+    the file is absent, the container is truncated or not a zip at all, the
+    contents fail checksum verification (bit flips), or the format version
+    is newer than this reader.
+    """
+    path = Path(path)
+    if not path.exists():
+        return ArchiveCheck(path, "missing", None, "file does not exist")
+    try:
+        arrays = _read_archive(path)
+    except TruncatedArchiveError as exc:
+        return ArchiveCheck(path, "truncated", None, str(exc))
+    except ChecksumMismatchError as exc:
+        return ArchiveCheck(path, "checksum-mismatch", None, str(exc))
+    raw_version = int(arrays["index::version"][0]) if "index::version" in arrays else 1
+    try:
+        version = _archive_version(arrays, path)
+    except SerializationError as exc:
+        return ArchiveCheck(path, "version-unknown", raw_version, str(exc))
+    if version < 3:
+        return ArchiveCheck(
+            path, "ok-unchecksummed", version,
+            f"readable legacy archive (format version {version} has no checksum)",
+        )
+    try:
+        _verify_checksum(arrays, path)
+    except ChecksumMismatchError as exc:
+        return ArchiveCheck(path, "checksum-mismatch", version, str(exc))
+    tensors = sum(1 for key in arrays if key.endswith("::meta"))
+    return ArchiveCheck(
+        path, "ok", version,
+        f"checksum verified over {len(arrays)} arrays ({tensors} quantized tensors)",
     )

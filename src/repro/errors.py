@@ -19,5 +19,42 @@ class QuantizationError(ReproError):
     """Quantization could not be performed on the given tensor."""
 
 
+class DegenerateTensorError(QuantizationError):
+    """A tensor cannot support a Gaussian fit: empty or zero-variance.
+
+    Raised by input validation (``repro.core.validate``) under the
+    ``strict`` policy; the ``repair`` policy falls back to linear binning
+    instead, and ``skip`` converts it into :class:`LayerSkipped`.
+    """
+
+
+class NonFiniteWeightError(QuantizationError, ValueError):
+    """A tensor contains NaN or infinite entries.
+
+    Subclasses :class:`ValueError` as well, so callers that historically
+    caught the generic ``ValueError`` from :meth:`GaussianFit.fit` keep
+    working.
+    """
+
+
+class LayerSkipped(QuantizationError):
+    """Control-flow signal: validation policy ``skip`` rejected this tensor.
+
+    The layer-parallel engine catches this and ships the layer unquantized
+    (FP32 pass-through), recording the skip in the run's
+    :class:`~repro.core.parallel.QuantizationReport`.
+    """
+
+
 class SerializationError(ReproError):
     """A stored model archive is malformed."""
+
+
+class TruncatedArchiveError(SerializationError):
+    """An archive exists but is not a readable npz container (truncated
+    write, or garbage bytes where the zip structure should be)."""
+
+
+class ChecksumMismatchError(SerializationError):
+    """An archive's recorded checksum does not match its contents (bit rot,
+    partial overwrite, or tampering)."""

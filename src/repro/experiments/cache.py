@@ -5,16 +5,31 @@ benchmark that needs, say, "tiny-bert-base fine-tuned on MNLI" shares one
 checkpoint through this cache.  Checkpoints are ``.npz`` state dicts keyed by
 ``(config, task, seed)`` and stored under the repository's ``.cache/``
 directory (override with the ``REPRO_CACHE_DIR`` environment variable).
+
+Durability: checkpoints are written atomically (tmp + fsync + rename via
+:func:`repro.utils.atomic.atomic_savez`), so a crash mid-save can no longer
+leave a truncated archive behind.  On load, *missing* and *corrupt* are
+distinct outcomes: a missing checkpoint is the normal cold-cache case and
+returns ``None`` silently, while a corrupt one emits a
+:class:`CacheCorruptionWarning` and is deleted so the next run re-fine-tunes
+instead of re-hitting the same broken file forever.
 """
 
 from __future__ import annotations
 
 import os
+import warnings
+import zipfile
 from pathlib import Path
 
 import numpy as np
 
 from repro.errors import SerializationError
+from repro.utils.atomic import atomic_savez
+
+
+class CacheCorruptionWarning(UserWarning):
+    """A cached checkpoint existed but could not be read and was deleted."""
 
 
 def cache_dir() -> Path:
@@ -37,15 +52,36 @@ def checkpoint_path(key: str) -> Path:
 
 
 def save_state(key: str, state: dict[str, np.ndarray], scores: dict[str, float] | None = None):
-    """Persist a state dict (and optional scalar metrics) under ``key``."""
+    """Persist a state dict (and optional scalar metrics) under ``key``.
+
+    The write is atomic: readers racing a save observe either the previous
+    complete checkpoint or the new one, never a torn file.
+    """
     payload = {f"param::{name}": value for name, value in state.items()}
     for name, value in (scores or {}).items():
         payload[f"score::{name}"] = np.float64(value)
-    np.savez(checkpoint_path(key), **payload)
+    atomic_savez(checkpoint_path(key), payload)
+
+
+def _discard_corrupt(path: Path, reason: str) -> None:
+    warnings.warn(
+        f"cached checkpoint {path.name} is corrupt ({reason}); "
+        f"deleting it so the next run re-fine-tunes",
+        CacheCorruptionWarning,
+        stacklevel=3,
+    )
+    try:
+        path.unlink()
+    except OSError:
+        pass
 
 
 def load_state(key: str) -> tuple[dict[str, np.ndarray], dict[str, float]] | None:
-    """Load a cached state dict, or None if absent/corrupt."""
+    """Load a cached state dict, or None if absent or corrupt.
+
+    Absent is silent (a cold cache is normal); corrupt emits a
+    :class:`CacheCorruptionWarning` naming the failure and deletes the file.
+    """
     path = checkpoint_path(key)
     if not path.exists():
         return None
@@ -61,9 +97,11 @@ def load_state(key: str) -> tuple[dict[str, np.ndarray], dict[str, float]] | Non
                 for name in archive.files
                 if name.startswith("score::")
             }
-    except (OSError, ValueError, KeyError):
+    except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile) as exc:
+        _discard_corrupt(path, f"{type(exc).__name__}: {exc}")
         return None
     if not state:
+        _discard_corrupt(path, "archive holds no parameters")
         return None
     return state, scores
 

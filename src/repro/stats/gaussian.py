@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import ShapeError
+from repro.errors import NonFiniteWeightError, ShapeError
 
 _LOG_2PI = math.log(2.0 * math.pi)
 
@@ -42,7 +42,7 @@ class GaussianFit:
         if flat.size == 0:
             raise ShapeError("cannot fit a Gaussian to an empty array")
         if not np.all(np.isfinite(flat)):
-            raise ValueError("values contain NaN or infinity")
+            raise NonFiniteWeightError("values contain NaN or infinity")
         mean = float(flat.mean())
         std = float(flat.std())
         return cls(mean=mean, std=std)
@@ -52,22 +52,32 @@ class GaussianFit:
 
         Mirrors ``GaussianMixture.score_samples`` for a single component
         (the mixture weight is 1, so the mixture log-likelihood is the
-        component log-pdf).  A degenerate fit (``std == 0``) assigns
-        ``+inf`` at the mean and ``-inf`` elsewhere.
+        component log-pdf).  A degenerate fit (``std == 0``, e.g. from a
+        constant or single-element tensor) assigns ``+inf`` at the mean and
+        ``-inf`` elsewhere instead of dividing by zero; a near-degenerate
+        ``std`` whose ``z`` overflows yields ``-inf`` (the correct limit)
+        without emitting a RuntimeWarning, so the suite stays clean under
+        ``-W error::RuntimeWarning``.
         """
         x = np.asarray(values, dtype=np.float64)
         if self.std == 0.0:
             return np.where(x == self.mean, np.inf, -np.inf)
-        z = (x - self.mean) / self.std
-        return -0.5 * (z * z + _LOG_2PI) - math.log(self.std)
+        with np.errstate(over="ignore"):
+            z = (x - self.mean) / self.std
+            return -0.5 * (z * z + _LOG_2PI) - math.log(self.std)
 
     def score_samples(self, values: np.ndarray) -> np.ndarray:
         """Alias for :meth:`log_pdf`, matching the scikit-learn name."""
         return self.log_pdf(values)
 
     def pdf(self, values: np.ndarray) -> np.ndarray:
-        """Probability density of ``values`` (Eq. 1 of the paper)."""
-        return np.exp(self.log_pdf(values))
+        """Probability density of ``values`` (Eq. 1 of the paper).
+
+        A degenerate or near-degenerate fit saturates to ``inf`` at the
+        mean without emitting an overflow RuntimeWarning.
+        """
+        with np.errstate(over="ignore"):
+            return np.exp(self.log_pdf(values))
 
     def interval(self, coverage: float) -> tuple[float, float]:
         """Symmetric interval around the mean containing ``coverage`` mass."""

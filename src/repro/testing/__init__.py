@@ -1,0 +1,21 @@
+"""Deterministic fault-injection harness for robustness testing."""
+
+from repro.testing.faults import (
+    InjectedFault,
+    PoisonTensor,
+    RaiseNth,
+    RaiseOnLayer,
+    compose_injectors,
+    corrupt_bytes,
+    truncate_file,
+)
+
+__all__ = [
+    "InjectedFault",
+    "PoisonTensor",
+    "RaiseNth",
+    "RaiseOnLayer",
+    "compose_injectors",
+    "corrupt_bytes",
+    "truncate_file",
+]

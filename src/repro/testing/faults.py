@@ -1,0 +1,188 @@
+"""Deterministic fault injectors for the quantization pipeline and storage.
+
+The layer-parallel engine accepts a ``fault_injector`` hook — called as
+``injector(index, job, weights)`` before each layer quantizes — which may
+raise (simulating a layer failure) or return a replacement weight array
+(poisoning the input).  The injectors here are the deterministic,
+worker-count-independent building blocks the robustness test suite uses to
+prove every ``on_error``/``validation`` policy path end-to-end:
+
+* :class:`RaiseOnLayer` — fail one specific layer, selected by job index or
+  name, every time it is attempted (a persistent fault).
+* :class:`RaiseNth` — fail the Nth injector call (1-based, thread-safe);
+  with ``times`` it becomes a transient fault that clears after N raises.
+* :class:`PoisonTensor` — hand the engine a NaN/Inf/constant-poisoned copy
+  of one layer's weights, exercising the validation layer rather than the
+  exception path.
+
+Storage-level injectors simulate the two ways an archive dies on disk:
+
+* :func:`truncate_file` — a crash mid-write (the container is torn),
+* :func:`corrupt_bytes` — bit rot / a flipped byte inside an intact
+  container.
+
+None of these depend on pytest; they are plain callables/functions usable
+from any harness.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.parallel import LayerJob
+
+
+class InjectedFault(RuntimeError):
+    """The exception type raised by the built-in injectors.
+
+    A distinct type so tests can assert that a captured
+    :class:`~repro.core.parallel.LayerFailure` came from the harness and
+    not from a genuine defect.
+    """
+
+
+@dataclass
+class RaiseOnLayer:
+    """Raise whenever the targeted layer is attempted.
+
+    ``layer`` selects by job index (int) or layer name (str).  Persistent:
+    retries at higher bit widths hit the same fault, so under
+    ``on_error="retry-higher-bits"`` the layer ends in FP32 fallback.
+    """
+
+    layer: int | str
+    message: str = "injected fault"
+
+    def __call__(self, index: int, job: LayerJob, weights: np.ndarray):
+        if self._matches(index, job):
+            raise InjectedFault(f"{self.message} (layer {job.name!r}, index {index})")
+        return None
+
+    def _matches(self, index: int, job: LayerJob) -> bool:
+        if isinstance(self.layer, str):
+            return job.name == self.layer
+        return index == self.layer
+
+
+@dataclass
+class RaiseNth:
+    """Raise on the Nth injector call (1-based), counted thread-safely.
+
+    Under parallel fan-out the *which layer* of the Nth call depends on
+    scheduling, but the invariant the robustness suite needs — exactly
+    ``times`` injected failures per run — holds for every worker count.
+    ``times`` bounds how many calls raise; afterwards the fault clears
+    (a transient error).
+    """
+
+    nth: int = 1
+    times: int = 1
+    message: str = "injected transient fault"
+    _calls: int = field(default=0, repr=False)
+    _raised: int = field(default=0, repr=False)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def __call__(self, index: int, job: LayerJob, weights: np.ndarray):
+        with self._lock:
+            self._calls += 1
+            should_raise = self._calls >= self.nth and self._raised < self.times
+            if should_raise:
+                self._raised += 1
+        if should_raise:
+            raise InjectedFault(f"{self.message} (call {self._calls}, layer {job.name!r})")
+        return None
+
+
+@dataclass
+class PoisonTensor:
+    """Replace the targeted layer's weights with a poisoned copy.
+
+    ``mode`` is one of ``"nan"`` (every ``stride``-th entry becomes NaN),
+    ``"inf"`` (same with +inf) or ``"constant"`` (the whole tensor becomes
+    one value — a zero-variance tensor).  The poison goes through the
+    normal validation path, so this exercises ``validation=`` policies
+    rather than the exception-isolation path.
+    """
+
+    layer: int | str
+    mode: str = "nan"
+    stride: int = 7
+    value: float = 0.5
+
+    def __call__(self, index: int, job: LayerJob, weights: np.ndarray):
+        if not self._matches(index, job):
+            return None
+        poisoned = np.array(weights, dtype=np.float64, copy=True)
+        flat = poisoned.ravel()
+        if self.mode == "nan":
+            flat[:: self.stride] = np.nan
+        elif self.mode == "inf":
+            flat[:: self.stride] = np.inf
+        elif self.mode == "constant":
+            flat[:] = self.value
+        else:
+            raise ValueError(f"unknown poison mode {self.mode!r}")
+        return poisoned
+
+    def _matches(self, index: int, job: LayerJob) -> bool:
+        if isinstance(self.layer, str):
+            return job.name == self.layer
+        return index == self.layer
+
+
+def compose_injectors(*injectors):
+    """Chain injectors: each may raise; the first replacement array wins
+    as input to the injectors after it."""
+
+    def injector(index: int, job: LayerJob, weights: np.ndarray):
+        replaced = None
+        for inject in injectors:
+            outcome = inject(index, job, replaced if replaced is not None else weights)
+            if outcome is not None:
+                replaced = outcome
+        return replaced
+
+    return injector
+
+
+def truncate_file(path: str | Path, keep: int | float) -> int:
+    """Truncate the file at ``path``, simulating a crash mid-write.
+
+    ``keep`` is an absolute byte count (int) or a fraction of the current
+    size (float in (0, 1)).  Returns the resulting size in bytes.
+    """
+    path = Path(path)
+    size = path.stat().st_size
+    if isinstance(keep, float):
+        if not 0.0 <= keep < 1.0:
+            raise ValueError(f"fractional keep must be in [0, 1), got {keep}")
+        keep_bytes = int(size * keep)
+    else:
+        keep_bytes = min(int(keep), size)
+    data = path.read_bytes()[:keep_bytes]
+    path.write_bytes(data)
+    return keep_bytes
+
+
+def corrupt_bytes(path: str | Path, offset: int, xor: int = 0xFF, count: int = 1) -> None:
+    """Flip bits in ``count`` bytes at ``offset``, simulating bit rot.
+
+    ``offset`` may be negative (from the end).  ``xor`` is the mask applied
+    to each byte (default 0xFF: invert); it must be non-zero, otherwise
+    nothing would change.
+    """
+    if xor == 0:
+        raise ValueError("xor mask 0 would be a no-op")
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    if offset < 0:
+        offset += len(data)
+    if not 0 <= offset < len(data):
+        raise ValueError(f"offset {offset} outside file of {len(data)} bytes")
+    for i in range(offset, min(offset + count, len(data))):
+        data[i] ^= xor
+    path.write_bytes(bytes(data))

@@ -1,0 +1,55 @@
+"""Crash-safe archive writes: write-tmp, fsync, rename.
+
+``np.savez`` writes the destination in place, so a crash (or a full disk)
+mid-write leaves a truncated zip that readers then have to treat as corrupt.
+:func:`atomic_savez` instead writes to a temporary sibling, flushes it to
+stable storage, and atomically renames it over the destination — readers see
+either the old complete archive or the new complete archive, never a torn
+one.  The directory entry is fsynced as well so the rename itself survives a
+power loss.
+"""
+
+from __future__ import annotations
+
+import os
+import uuid
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+
+
+def fsync_directory(directory: Path) -> None:
+    """Flush a directory entry to stable storage (no-op where unsupported)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_savez(path: str | Path, payload: Mapping[str, np.ndarray]) -> int:
+    """Atomically write ``payload`` as an npz archive at ``path``.
+
+    The caller is responsible for suffix normalization; ``path`` is written
+    exactly as given.  Returns the byte size of the file written.
+    """
+    path = Path(path)
+    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}-{uuid.uuid4().hex[:8]}")
+    try:
+        with open(tmp, "wb") as handle:
+            np.savez(handle, **dict(payload))
+            handle.flush()
+            os.fsync(handle.fileno())
+        size = tmp.stat().st_size
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    fsync_directory(path.parent)
+    return size

@@ -1,0 +1,257 @@
+"""Fault-injection tests: every failure policy, end-to-end, any worker count."""
+
+import numpy as np
+import pytest
+
+from repro.core.model_quantizer import quantize_model, quantize_state_dict
+from repro.core.parallel import (
+    LayerJob,
+    ON_ERROR_ENV,
+    ON_ERROR_POLICIES,
+    default_on_error,
+    quantize_layers,
+    resolve_on_error,
+)
+from repro.core.serialization import load_quantized_model, save_quantized_model
+from repro.errors import QuantizationError
+from repro.models.heads import BertForSequenceClassification
+from repro.testing.faults import (
+    InjectedFault,
+    PoisonTensor,
+    RaiseNth,
+    RaiseOnLayer,
+    compose_injectors,
+)
+from tests.conftest import MICRO_CONFIG
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def state():
+    rng = np.random.default_rng(7)
+    return {f"layer{i}": rng.normal(0, 0.05, size=(24, 24)) for i in range(6)}
+
+
+@pytest.fixture(scope="module")
+def jobs(state):
+    return [LayerJob(name, 3) for name in state]
+
+
+class TestOnErrorResolution:
+    def test_default_is_fail(self, monkeypatch):
+        monkeypatch.delenv(ON_ERROR_ENV, raising=False)
+        assert resolve_on_error(None) == "fail"
+        assert default_on_error() == "fail"
+
+    def test_environment_read(self, monkeypatch):
+        monkeypatch.setenv(ON_ERROR_ENV, "fp32-fallback")
+        assert resolve_on_error(None) == "fp32-fallback"
+
+    def test_bad_environment_rejected(self, monkeypatch):
+        monkeypatch.setenv(ON_ERROR_ENV, "explode")
+        with pytest.raises(QuantizationError):
+            default_on_error()
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(QuantizationError, match="on_error"):
+            resolve_on_error("panic")
+
+    def test_policies_exported(self):
+        assert ON_ERROR_POLICIES == ("fail", "skip", "fp32-fallback", "retry-higher-bits")
+
+
+class TestFailureIsolation:
+    def test_fail_policy_reraises(self, state, jobs):
+        with pytest.raises(InjectedFault):
+            quantize_layers(state, jobs, fault_injector=RaiseOnLayer("layer2"))
+
+    def test_fail_policy_reraises_parallel(self, state, jobs):
+        with pytest.raises(InjectedFault):
+            quantize_layers(
+                state, jobs, workers=3, fault_injector=RaiseOnLayer("layer2")
+            )
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_skip_drops_only_the_failing_layer(self, state, jobs, workers):
+        quantized, iterations, report = quantize_layers(
+            state, jobs, workers=workers,
+            on_error="skip", fault_injector=RaiseOnLayer("layer2"),
+        )
+        assert sorted(quantized) == sorted(set(state) - {"layer2"})
+        assert "layer2" not in iterations
+        [failure] = report.failures
+        assert failure.name == "layer2" and failure.action == "skip"
+        assert failure.error_type == "InjectedFault"
+        assert failure.dropped and not failure.quantized_anyway
+        assert not report.ok
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_fp32_fallback_records_failure(self, state, jobs, workers):
+        quantized, _, report = quantize_layers(
+            state, jobs, workers=workers,
+            on_error="fp32-fallback", fault_injector=RaiseOnLayer("layer4"),
+        )
+        assert "layer4" not in quantized
+        [failure] = report.failures
+        assert failure.action == "fp32-fallback" and not failure.dropped
+
+    @pytest.mark.parametrize("failing", [f"layer{i}" for i in range(6)])
+    def test_surviving_layers_bit_identical_to_clean_run(self, state, jobs, failing):
+        """Acceptance: any single failing layer, every worker count, the
+        remaining layers match a clean run bit for bit."""
+        clean, clean_iters, _ = quantize_layers(state, jobs, workers=1)
+        for workers in WORKER_COUNTS:
+            quantized, iterations, report = quantize_layers(
+                state, jobs, workers=workers,
+                on_error="fp32-fallback", fault_injector=RaiseOnLayer(failing),
+            )
+            assert report.failed_layer_names == (failing,)
+            assert sorted(quantized) == sorted(set(state) - {failing})
+            for name, tensor in quantized.items():
+                assert tensor.packed_codes == clean[name].packed_codes
+                np.testing.assert_array_equal(tensor.centroids, clean[name].centroids)
+                np.testing.assert_array_equal(
+                    tensor.outlier_values, clean[name].outlier_values
+                )
+                assert iterations[name] == clean_iters[name]
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_transient_fault_fails_exactly_once(self, state, jobs, workers):
+        quantized, _, report = quantize_layers(
+            state, jobs, workers=workers,
+            on_error="skip", fault_injector=RaiseNth(nth=1, times=1),
+        )
+        assert len(report.failures) == 1
+        assert len(quantized) == len(state) - 1
+
+    def test_failure_order_follows_job_order(self, state, jobs):
+        quantized, _, report = quantize_layers(
+            state, jobs, workers=4, on_error="skip",
+            fault_injector=compose_injectors(
+                RaiseOnLayer("layer1"), RaiseOnLayer("layer5")
+            ),
+        )
+        assert report.failed_layer_names == ("layer1", "layer5")
+
+    def test_render_includes_failures(self, state, jobs):
+        _, _, report = quantize_layers(
+            state, jobs, on_error="fp32-fallback",
+            fault_injector=RaiseOnLayer("layer0"),
+        )
+        text = report.render()
+        assert "Layer failures" in text and "fp32-fallback" in text
+        assert "InjectedFault" in text
+
+
+class TestRetryHigherBits:
+    def test_recovers_at_wider_width(self, state):
+        # bits=0 genuinely fails (bits must be >= 1); the first retry at 1
+        # succeeds, so the layer ships quantized — wider than requested.
+        jobs = [LayerJob("layer0", 0), LayerJob("layer1", 3)]
+        quantized, _, report = quantize_layers(
+            state, jobs, on_error="retry-higher-bits"
+        )
+        assert quantized["layer0"].bits == 1
+        [failure] = report.failures
+        assert failure.action == "retry-higher-bits"
+        assert failure.recovered_bits == 1
+        assert failure.attempts == (0, 1)
+        assert failure.quantized_anyway
+
+    def test_persistent_fault_exhausts_retries_to_fp32(self, state, jobs):
+        quantized, _, report = quantize_layers(
+            state, jobs, on_error="retry-higher-bits",
+            fault_injector=RaiseOnLayer("layer3"),
+        )
+        assert "layer3" not in quantized
+        [failure] = report.failures
+        assert failure.action == "fp32-fallback"
+        assert failure.recovered_bits is None
+        assert failure.attempts == (3, 4, 5, 6, 7, 8)
+
+
+class TestPoisonedTensors:
+    @pytest.mark.parametrize("mode", ["nan", "inf", "constant"])
+    def test_strict_validation_fails_poisoned_layer(self, state, jobs, mode):
+        quantized, _, report = quantize_layers(
+            state, jobs, on_error="fp32-fallback",
+            fault_injector=PoisonTensor("layer1", mode=mode),
+        )
+        assert "layer1" not in quantized
+        [failure] = report.failures
+        assert failure.error_type in ("NonFiniteWeightError", "DegenerateTensorError")
+
+    def test_repair_validation_recovers_poisoned_layer(self, state, jobs):
+        quantized, _, report = quantize_layers(
+            state, jobs, validation="repair",
+            fault_injector=PoisonTensor("layer1", mode="nan"),
+        )
+        assert report.ok and len(quantized) == len(state)
+        assert np.isfinite(quantized["layer1"].dequantize(np.float64)).all()
+
+    def test_skip_validation_ships_layer_fp32(self, state, jobs):
+        quantized, _, report = quantize_layers(
+            state, jobs, validation="skip",
+            fault_injector=PoisonTensor("layer1", mode="nan"),
+        )
+        assert "layer1" not in quantized
+        [failure] = report.failures
+        assert failure.action == "validation-skip"
+
+
+class TestEndToEndModel:
+    """Acceptance: a degraded run still produces a loadable archive."""
+
+    @pytest.fixture(scope="class")
+    def model(self):
+        return BertForSequenceClassification(MICRO_CONFIG, num_labels=3, rng=0)
+
+    def test_fp32_fallback_model_round_trips(self, model, tmp_path):
+        clean = quantize_model(model, weight_bits=3, embedding_bits=4)
+        failing_layer = clean.fc_names[2]
+        degraded = quantize_model(
+            model, weight_bits=3, embedding_bits=4,
+            on_error="fp32-fallback", fault_injector=RaiseOnLayer(failing_layer),
+        )
+        assert degraded.report.failed_layer_names == (failing_layer,)
+        # The failed layer ships FP32 and the state dict stays complete.
+        assert failing_layer in degraded.fp32
+        assert set(degraded.state_dict()) == set(clean.state_dict())
+        # Remaining quantized layers are bit-identical to the clean run.
+        for name, tensor in degraded.quantized.items():
+            assert tensor.packed_codes == clean.quantized[name].packed_codes
+        # The archive round-trips and applies to a fresh model.
+        path = tmp_path / "degraded.npz"
+        save_quantized_model(degraded, path)
+        loaded = load_quantized_model(path)
+        probe = BertForSequenceClassification(MICRO_CONFIG, num_labels=3, rng=1)
+        loaded.apply_to(probe)
+        np.testing.assert_array_equal(
+            probe.state_dict()[failing_layer],
+            np.asarray(model.state_dict()[failing_layer], dtype=np.float32).astype(np.float64),
+        )
+
+    def test_skip_policy_drops_layer_from_state_dict(self, model):
+        clean = quantize_model(model, weight_bits=3, embedding_bits=4)
+        failing_layer = clean.fc_names[0]
+        degraded = quantize_model(
+            model, weight_bits=3, embedding_bits=4,
+            on_error="skip", fault_injector=RaiseOnLayer(failing_layer),
+        )
+        assert failing_layer not in degraded.state_dict()
+        assert failing_layer not in degraded.fp32
+
+    def test_state_dict_interface_forwards_policies(self, model, monkeypatch):
+        monkeypatch.setenv(ON_ERROR_ENV, "fp32-fallback")
+        state = model.state_dict()
+        from repro.core.model_quantizer import select_parameters
+
+        selection = select_parameters(model)
+        quantized = quantize_state_dict(
+            state, fc_names=selection.fc_names, embedding_names=(),
+            on_error=None,  # defer to REPRO_ON_ERROR
+            fault_injector=RaiseOnLayer(selection.fc_names[1]),
+        )
+        assert quantized.report.on_error == "fp32-fallback"
+        assert len(quantized.report.failures) == 1

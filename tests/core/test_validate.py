@@ -1,0 +1,166 @@
+"""Tests for input validation / repair and pathological-tensor quantization."""
+
+import numpy as np
+import pytest
+
+from repro.core.quantizer import quantize_tensor
+from repro.core.validate import (
+    VALIDATION_POLICIES,
+    diagnose_tensor,
+    validate_tensor,
+)
+from repro.errors import (
+    DegenerateTensorError,
+    LayerSkipped,
+    NonFiniteWeightError,
+    QuantizationError,
+)
+
+
+class TestDiagnose:
+    def test_healthy_tensor(self, rng):
+        diagnosis = diagnose_tensor(rng.normal(0, 0.05, size=(16, 16)))
+        assert diagnosis.ok
+        assert diagnosis.describe() == "ok"
+
+    def test_empty(self):
+        diagnosis = diagnose_tensor(np.array([]))
+        assert diagnosis.empty and not diagnosis.ok
+        assert "empty" in diagnosis.describe()
+
+    def test_non_finite_counted(self, rng):
+        weights = rng.normal(size=100)
+        weights[::10] = np.nan
+        weights[1] = np.inf
+        diagnosis = diagnose_tensor(weights)
+        assert diagnosis.non_finite == 11
+        assert "non-finite" in diagnosis.describe()
+
+    def test_constant_is_zero_variance(self):
+        diagnosis = diagnose_tensor(np.full((4, 4), 0.5))
+        assert diagnosis.zero_variance and not diagnosis.ok
+
+    def test_single_element_is_zero_variance(self):
+        assert diagnose_tensor(np.array([1.5])).zero_variance
+
+
+class TestValidatePolicies:
+    def test_unknown_policy_rejected(self, rng):
+        with pytest.raises(QuantizationError, match="policy"):
+            validate_tensor(rng.normal(size=4), policy="lenient")
+
+    def test_strict_passes_healthy_tensor_through(self, rng):
+        weights = rng.normal(0, 0.05, size=64)
+        outcome = validate_tensor(weights, policy="strict")
+        assert outcome.weights is weights or np.shares_memory(outcome.weights, weights)
+        assert not outcome.repairs and not outcome.degenerate and not outcome.skipped
+
+    def test_strict_raises_typed_errors(self):
+        with pytest.raises(NonFiniteWeightError):
+            validate_tensor(np.array([1.0, np.nan]), policy="strict")
+        with pytest.raises(DegenerateTensorError):
+            validate_tensor(np.full(8, 2.0), policy="strict")
+        with pytest.raises(DegenerateTensorError):
+            validate_tensor(np.array([]), policy="strict")
+
+    def test_non_finite_error_is_a_value_error(self):
+        """Callers that historically caught ValueError keep working."""
+        with pytest.raises(ValueError):
+            validate_tensor(np.array([1.0, np.nan]), policy="strict")
+
+    def test_repair_sanitizes_non_finite_with_finite_mean(self):
+        weights = np.array([1.0, 3.0, np.nan, np.inf])
+        outcome = validate_tensor(weights, policy="repair")
+        np.testing.assert_array_equal(outcome.weights, [1.0, 3.0, 2.0, 2.0])
+        assert outcome.repairs and not outcome.skipped
+        # The original tensor is untouched.
+        assert np.isnan(weights[2])
+
+    def test_repair_all_non_finite_becomes_zero_and_degenerate(self):
+        outcome = validate_tensor(np.full(5, np.nan), policy="repair")
+        np.testing.assert_array_equal(outcome.weights, np.zeros(5))
+        assert outcome.degenerate
+
+    def test_repair_flags_constant_as_degenerate(self):
+        outcome = validate_tensor(np.full(6, 0.25), policy="repair")
+        assert outcome.degenerate
+        assert any("linear" in note for note in outcome.repairs)
+
+    def test_repair_cannot_fix_empty(self):
+        with pytest.raises(DegenerateTensorError):
+            validate_tensor(np.array([]), policy="repair")
+
+    def test_skip_never_raises(self):
+        for bad in (np.array([]), np.full(3, np.nan), np.full(3, 1.0)):
+            outcome = validate_tensor(bad, policy="skip")
+            assert outcome.skipped
+
+    def test_skip_accepts_healthy_tensor(self, rng):
+        outcome = validate_tensor(rng.normal(size=32), policy="skip")
+        assert not outcome.skipped
+
+
+PATHOLOGICAL = {
+    "empty": np.array([]),
+    "all-nan": np.full(7, np.nan),
+    "single-element": np.array([0.25]),
+    "constant": np.full((3, 5), -1.5),
+}
+
+
+class TestQuantizeTensorPathological:
+    """Satellite: empty / all-NaN / single-element under each policy."""
+
+    @pytest.mark.parametrize("name", sorted(PATHOLOGICAL))
+    def test_strict_raises_quantization_error(self, name):
+        with pytest.raises(QuantizationError):
+            quantize_tensor(PATHOLOGICAL[name], bits=3, validation="strict")
+
+    @pytest.mark.parametrize("name", sorted(PATHOLOGICAL))
+    def test_skip_raises_layer_skipped(self, name):
+        with pytest.raises(LayerSkipped):
+            quantize_tensor(PATHOLOGICAL[name], bits=3, validation="skip")
+
+    def test_repair_all_nan_reconstructs_zeros(self):
+        tensor, result = quantize_tensor(PATHOLOGICAL["all-nan"], bits=3, validation="repair")
+        np.testing.assert_array_equal(tensor.dequantize(np.float64), np.zeros(7))
+        assert result.converged
+
+    def test_repair_single_element_exact(self):
+        tensor, _ = quantize_tensor(PATHOLOGICAL["single-element"], bits=3, validation="repair")
+        np.testing.assert_array_equal(tensor.dequantize(np.float64), [0.25])
+
+    def test_repair_constant_exact(self):
+        tensor, _ = quantize_tensor(PATHOLOGICAL["constant"], bits=3, validation="repair")
+        np.testing.assert_array_equal(
+            tensor.dequantize(np.float64), np.full((3, 5), -1.5)
+        )
+
+    def test_repair_empty_still_raises(self):
+        with pytest.raises(DegenerateTensorError):
+            quantize_tensor(PATHOLOGICAL["empty"], bits=3, validation="repair")
+
+    def test_repair_partial_nan_quantizes_rest_sanely(self, rng):
+        weights = rng.normal(0, 0.05, size=512)
+        weights[::13] = np.nan
+        tensor, _ = quantize_tensor(weights, bits=3, validation="repair")
+        restored = tensor.dequantize(np.float64)
+        assert np.isfinite(restored).all()
+        clean = np.isfinite(weights)
+        # Clean entries reconstruct within quantization error of the input.
+        assert np.abs(restored[clean] - weights[clean]).max() < 0.1
+
+    def test_default_policy_is_strict(self):
+        with pytest.raises(QuantizationError):
+            quantize_tensor(np.full(4, 1.0))
+
+    def test_policy_names_exported(self):
+        assert VALIDATION_POLICIES == ("strict", "repair", "skip")
+
+    @pytest.mark.parametrize("policy", VALIDATION_POLICIES)
+    def test_healthy_tensor_identical_under_every_policy(self, policy, rng):
+        weights = rng.normal(0, 0.05, size=600)
+        baseline, _ = quantize_tensor(weights, bits=3)
+        tensor, _ = quantize_tensor(weights, bits=3, validation=policy)
+        assert tensor.packed_codes == baseline.packed_codes
+        np.testing.assert_array_equal(tensor.centroids, baseline.centroids)

@@ -1,5 +1,7 @@
 """Tests for the checkpoint cache."""
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -31,7 +33,41 @@ class TestCache:
     def test_corrupt_file_returns_none(self, isolated_cache):
         path = cache.checkpoint_path("corrupt")
         path.write_bytes(b"not an npz")
-        assert cache.load_state("corrupt") is None
+        with pytest.warns(cache.CacheCorruptionWarning):
+            assert cache.load_state("corrupt") is None
+
+    def test_corrupt_file_deleted_so_next_run_retrains(self):
+        path = cache.checkpoint_path("corrupt")
+        path.write_bytes(b"not an npz")
+        with pytest.warns(cache.CacheCorruptionWarning, match="corrupt"):
+            cache.load_state("corrupt")
+        assert not path.exists()
+        # Second lookup is the silent missing case, not a second warning.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert cache.load_state("corrupt") is None
+
+    def test_truncated_checkpoint_detected(self, rng):
+        cache.save_state("torn", {"x": rng.normal(size=64)})
+        path = cache.checkpoint_path("torn")
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        with pytest.warns(cache.CacheCorruptionWarning):
+            assert cache.load_state("torn") is None
+        assert not path.exists()
+
+    def test_parameterless_archive_treated_as_corrupt(self):
+        np.savez(cache.checkpoint_path("hollow"), **{"score::only": np.float64(1.0)})
+        with pytest.warns(cache.CacheCorruptionWarning, match="no parameters"):
+            assert cache.load_state("hollow") is None
+
+    def test_missing_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert cache.load_state("never-saved") is None
+
+    def test_save_leaves_no_temporaries(self, isolated_cache, rng):
+        cache.save_state("clean", {"x": rng.normal(size=8)})
+        assert [p.name for p in isolated_cache.iterdir()] == ["clean.npz"]
 
     def test_clear_cache(self, rng):
         cache.save_state("a", {"x": rng.normal(size=2)})

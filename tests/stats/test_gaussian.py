@@ -1,13 +1,14 @@
 """Tests for the single-component Gaussian fit."""
 
 import math
+import warnings
 
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import ShapeError
+from repro.errors import NonFiniteWeightError, QuantizationError, ShapeError
 from repro.stats.gaussian import GaussianFit
 
 
@@ -34,10 +35,28 @@ class TestFit:
         with pytest.raises(ValueError):
             GaussianFit.fit(np.array([1.0, np.inf]))
 
+    def test_non_finite_error_is_typed(self):
+        """The rejection carries the typed error (still a ValueError) so the
+        engine can classify it in a QuantizationReport."""
+        with pytest.raises(NonFiniteWeightError) as excinfo:
+            GaussianFit.fit(np.array([np.inf, 1.0]))
+        assert isinstance(excinfo.value, QuantizationError)
+
     def test_uses_population_std(self):
         # ddof=0, matching sklearn's GaussianMixture variance estimate.
         data = np.array([0.0, 2.0])
         assert GaussianFit.fit(data).std == pytest.approx(1.0)
+
+    def test_constant_tensor_fits_with_zero_std(self):
+        """Regression: a zero-variance tensor must fit cleanly (std == 0)
+        rather than dividing by zero downstream."""
+        fit = GaussianFit.fit(np.full((8, 8), 0.75))
+        assert fit.mean == pytest.approx(0.75)
+        assert fit.std == 0.0
+
+    def test_single_element_fits_with_zero_std(self):
+        fit = GaussianFit.fit(np.array([3.0]))
+        assert fit.mean == 3.0 and fit.std == 0.0
 
 
 class TestLogPdf:
@@ -62,6 +81,29 @@ class TestLogPdf:
         fit = GaussianFit(mean=1.0, std=0.0)
         scores = fit.log_pdf(np.array([1.0, 2.0]))
         assert scores[0] == np.inf and scores[1] == -np.inf
+
+    def test_degenerate_fit_scores_without_warnings(self):
+        """Regression: a constant tensor scored through the full fit +
+        log_pdf + pdf path raises no RuntimeWarning (division or overflow)."""
+        fit = GaussianFit.fit(np.full(16, -2.5))
+        probe = np.array([-2.5, 0.0, 1e308])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            scores = fit.log_pdf(probe)
+            densities = fit.pdf(probe)
+        assert scores[0] == np.inf and scores[1] == -np.inf
+        assert densities[1] == 0.0
+
+    def test_near_degenerate_std_overflow_is_silent(self):
+        """A tiny-but-nonzero std can overflow z*z; the score saturates to
+        -inf without a RuntimeWarning."""
+        fit = GaussianFit(mean=0.0, std=5e-324)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            scores = fit.log_pdf(np.array([0.0, 1.0]))
+            densities = fit.pdf(np.array([1.0]))
+        assert scores[1] == -np.inf
+        assert densities[0] == 0.0
 
     def test_score_samples_alias(self):
         fit = GaussianFit(mean=0.0, std=1.0)

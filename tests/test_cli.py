@@ -34,6 +34,30 @@ class TestParser:
         assert args.report is True
         assert args.embedding_bits == "none"
 
+    def test_quantize_on_error_default_defers_to_environment(self):
+        args = build_parser().parse_args(["quantize"])
+        assert args.on_error is None
+        assert args.validation == "strict"
+
+    @pytest.mark.parametrize(
+        "policy", ["fail", "skip", "fp32-fallback", "retry-higher-bits"]
+    )
+    def test_quantize_on_error_choices(self, policy):
+        args = build_parser().parse_args(["quantize", "--on-error", policy])
+        assert args.on_error == policy
+
+    def test_quantize_on_error_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["quantize", "--on-error", "explode"])
+
+    def test_quantize_validation_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["quantize", "--validation", "lenient"])
+
+    def test_verify_archive_requires_path(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["verify-archive"])
+
 
 class TestCommands:
     def test_list_prints_all_targets(self, capsys):
@@ -85,3 +109,64 @@ class TestCommands:
     def test_quantize_negative_workers_clean_error(self, capsys):
         assert main(["quantize", "--workers", "-1"]) == 2
         assert "workers" in capsys.readouterr().err
+
+
+class TestVerifyArchive:
+    @pytest.fixture
+    def archive(self, tmp_path):
+        path = tmp_path / "model.npz"
+        assert main([
+            "quantize", "--embedding-bits", "none", "--out", str(path),
+        ]) == 0
+        return path
+
+    def test_intact_archive_exits_zero(self, archive, capsys):
+        capsys.readouterr()  # drop the quantize output
+        assert main(["verify-archive", str(archive)]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out and "format version 3" in out
+
+    def test_missing_archive_exits_nonzero(self, tmp_path, capsys):
+        assert main(["verify-archive", str(tmp_path / "absent.npz")]) == 1
+        assert "missing" in capsys.readouterr().out
+
+    def test_truncated_archive_exits_nonzero(self, archive, capsys):
+        from repro.testing.faults import truncate_file
+
+        truncate_file(archive, 0.5)
+        capsys.readouterr()
+        assert main(["verify-archive", str(archive)]) == 1
+        assert "truncated" in capsys.readouterr().out
+
+    def test_bit_flip_reported_as_checksum_mismatch(self, archive, capsys):
+        from repro.testing.faults import corrupt_bytes
+
+        corrupt_bytes(archive, archive.stat().st_size // 2)
+        capsys.readouterr()
+        assert main(["verify-archive", str(archive)]) == 1
+        assert "checksum-mismatch" in capsys.readouterr().out
+
+
+class TestQuantizeDegraded:
+    def test_on_error_surfaced_in_warning_line(self, capsys, monkeypatch):
+        """--on-error wires through to the engine; a degraded run warns on
+        stderr but still exits 0 with a usable archive."""
+        import repro.core.parallel as parallel_mod
+
+        original = parallel_mod.quantize_layers
+
+        def sabotaged(weights, jobs, **kwargs):
+            from repro.testing.faults import RaiseOnLayer
+
+            kwargs["fault_injector"] = RaiseOnLayer(jobs[0].name)
+            return original(weights, jobs, **kwargs)
+
+        monkeypatch.setattr(
+            "repro.core.model_quantizer.quantize_layers", sabotaged
+        )
+        assert main([
+            "quantize", "--embedding-bits", "none",
+            "--on-error", "fp32-fallback",
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "WARNING" in err and "fp32-fallback" in err

@@ -3,15 +3,66 @@
 Every benchmark writes its rendered table or figure series to
 ``benchmarks/results/`` so EXPERIMENTS.md can cite the regenerated artifacts,
 and registers one timed measurement with pytest-benchmark.
+
+Environment switches (used by the CI observability job):
+
+* ``REPRO_BENCH_SMOKE=1`` — skip the fine-tuning-backed benchmarks (the
+  table/figure regenerations that train tiny models first) so the remaining
+  suite exercises the quantization pipeline end-to-end in seconds.
+* ``REPRO_TRACE=path.jsonl`` — record an observability trace of the whole
+  benchmark session to ``path.jsonl``; ``repro profile --check`` then fails
+  the job on any schema violation.
 """
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Benchmarks that fine-tune models before measuring; skipped in smoke mode.
+TRAINING_HEAVY = frozenset({
+    "test_table3_mnli_methods.py",
+    "test_table4_centroid_policies.py",
+    "test_table5_distilbert.py",
+    "test_table6_roberta.py",
+    "test_fig4_embedding_accuracy.py",
+    "test_sensitivity_scan.py",
+})
+
+
+def _smoke_mode() -> bool:
+    return os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+
+def pytest_collection_modifyitems(config, items):
+    if not _smoke_mode():
+        return
+    skip = pytest.mark.skip(reason="REPRO_BENCH_SMOKE=1 skips fine-tuning benchmarks")
+    for item in items:
+        if item.path.name in TRAINING_HEAVY:
+            item.add_marker(skip)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _session_trace():
+    """Record the whole benchmark session when REPRO_TRACE names a file."""
+    trace_path = os.environ.get("REPRO_TRACE")
+    if not trace_path:
+        yield
+        return
+    from repro import obs
+
+    sink = obs.JsonlSink(trace_path)
+    obs.install(sink)
+    try:
+        yield
+    finally:
+        obs.uninstall(sink)
+        sink.close()
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,29 @@
+#!/usr/bin/env python
+"""Regenerate the golden archive fixtures under tests/data/.
+
+The writer is byte-deterministic, so rerunning this script produces files
+identical to the checked-in ones unless the format itself changed — and
+``tests/core/test_golden_archives.py`` fails loudly if it did.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.testing.golden import GOLDEN_VERSIONS, write_golden  # noqa: E402
+
+DATA_DIR = Path(__file__).resolve().parents[1] / "tests" / "data"
+
+
+def main() -> int:
+    for version in GOLDEN_VERSIONS:
+        path = write_golden(DATA_DIR, version)
+        print(f"wrote {path} ({path.stat().st_size} bytes)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,7 +8,10 @@ Subcommands::
     python -m repro prewarm                   # fine-tune + cache all models
     python -m repro quantize --workers 4 --report   # compress a zoo model
     python -m repro quantize --on-error fp32-fallback     # degrade, don't die
+    python -m repro quantize --trace run.jsonl      # export an obs trace
     python -m repro verify-archive model.npz  # classify an archive on disk
+    python -m repro profile run.jsonl         # replay a trace as tables
+    python -m repro profile --check run.jsonl # schema-validate only (CI)
 """
 
 from __future__ import annotations
@@ -69,6 +72,7 @@ def _cmd_prewarm(_args: argparse.Namespace) -> int:
 
 
 def _cmd_quantize(args: argparse.Namespace) -> int:
+    from repro import obs
     from repro.core.model_quantizer import quantize_model
     from repro.core.serialization import save_quantized_model
     from repro.errors import ConfigError, QuantizationError
@@ -89,7 +93,17 @@ def _cmd_quantize(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
 
+    sinks: list = []
+    trace_sink = None
+    if args.trace:
+        trace_sink = obs.JsonlSink(args.trace)
+        sinks.append(trace_sink)
+    if args.trace_summary:
+        sinks.append(obs.SummarySink())
+
     model = build_model(config, task="encoder", rng=args.seed)
+    for sink in sinks:
+        obs.install(sink)
     try:
         quantized = quantize_model(
             model,
@@ -100,9 +114,17 @@ def _cmd_quantize(args: argparse.Namespace) -> int:
             on_error=args.on_error,
             validation=args.validation,
         )
+        if args.out:
+            archive_size = save_quantized_model(quantized, args.out)
+        else:
+            archive_size = None
     except QuantizationError as exc:
         print(exc, file=sys.stderr)
         return 2
+    finally:
+        for sink in sinks:
+            obs.uninstall(sink)
+            sink.close()  # SummarySink renders its table here
     report = quantized.report
     print(
         f"{config.name}: {model.num_parameters()} parameters, "
@@ -125,9 +147,34 @@ def _cmd_quantize(args: argparse.Namespace) -> int:
     if args.report:
         print()
         print(report.render())
-    if args.out:
-        size = save_quantized_model(quantized, args.out)
-        print(f"\narchive written: {args.out} ({size / 1024:.1f} KiB)")
+    if archive_size is not None:
+        print(f"\narchive written: {args.out} ({archive_size / 1024:.1f} KiB)")
+    if trace_sink is not None:
+        print(f"trace written: {trace_sink.path} ({trace_sink.lines} events)")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    try:
+        errors = obs.validate_trace_file(args.path)
+    except OSError as exc:
+        print(f"cannot read trace {args.path}: {exc}", file=sys.stderr)
+        return 2
+    if errors:
+        shown = errors if len(errors) <= 20 else errors[:20]
+        for problem in shown:
+            print(f"{args.path}: {problem}", file=sys.stderr)
+        if len(errors) > len(shown):
+            print(f"... and {len(errors) - len(shown)} more", file=sys.stderr)
+        print(f"{args.path}: {len(errors)} schema violation(s)", file=sys.stderr)
+        return 1
+    events = obs.read_trace(args.path)
+    if args.check:
+        print(f"{args.path}: {len(events)} events, schema ok")
+        return 0
+    print(obs.summarize(events))
     return 0
 
 
@@ -188,7 +235,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     quantize.add_argument("--out", default=None, help="write the .npz archive here")
     quantize.add_argument("--seed", type=int, default=0, help="model init seed")
+    quantize.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write an observability trace (JSONL) of the run to PATH",
+    )
+    quantize.add_argument(
+        "--trace-summary", action="store_true",
+        help="print the observability summary tables after the run",
+    )
     quantize.set_defaults(func=_cmd_quantize)
+    profile = sub.add_parser(
+        "profile",
+        help="replay a --trace JSONL file into per-layer and metric tables",
+    )
+    profile.add_argument("path", help="path to the .jsonl trace")
+    profile.add_argument(
+        "--check", action="store_true",
+        help="only validate the trace against the event schema (exit 1 on violation)",
+    )
+    profile.set_defaults(func=_cmd_profile)
     verify = sub.add_parser(
         "verify-archive",
         help="classify an archive: ok / missing / truncated / checksum-mismatch / version-unknown",

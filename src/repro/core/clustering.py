@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.core.binning import assign_to_centroids, equal_population_centroids
 from repro.errors import QuantizationError
+from repro.obs import recorder as obs
 
 
 @dataclass
@@ -138,6 +139,15 @@ def gobo_cluster(
             converged = True
             break
     centroids, assignment = best
+    obs.trace_event(
+        "clustering.l1",
+        trace.l1_norms,
+        method="gobo",
+        bits=bits,
+        iterations=trace.iterations,
+        converged=converged,
+        final_l1=trace.l1_norms[best_index],
+    )
     return ClusteringResult(
         centroids=centroids,
         assignment=assignment,
@@ -182,6 +192,15 @@ def kmeans_cluster(
             assignment = new_assignment
             break
         assignment = new_assignment
+    obs.trace_event(
+        "clustering.l1",
+        trace.l1_norms,
+        method="kmeans",
+        bits=bits,
+        iterations=trace.iterations,
+        converged=converged,
+        final_l1=trace.l1_norms[-1],
+    )
     return ClusteringResult(
         centroids=centroids,
         assignment=assignment,

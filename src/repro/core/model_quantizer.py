@@ -33,6 +33,7 @@ from repro.core.quantizer import GoboQuantizedTensor
 from repro.errors import QuantizationError
 from repro.models.bert import BertModel
 from repro.nn.module import Module
+from repro.obs import recorder as obs
 
 
 @dataclass(frozen=True)
@@ -193,7 +194,7 @@ def quantize_state_dict(
         for name, value in state.items()
         if name not in quantized and name not in dropped
     }
-    return QuantizedModel(
+    model = QuantizedModel(
         quantized=quantized,
         fp32=fp32,
         fc_names=tuple(fc_names),
@@ -201,6 +202,13 @@ def quantize_state_dict(
         iterations=iterations,
         report=report,
     )
+    # Non-finite ratios (nothing quantized) are dropped by the gauge helper.
+    obs.gauge("model.compression_ratio", model.model_compression_ratio())
+    obs.gauge("model.weight_compression_ratio", model.weight_compression_ratio())
+    obs.gauge("model.embedding_compression_ratio", model.embedding_compression_ratio())
+    obs.gauge("model.outlier_fraction", model.outlier_fraction())
+    obs.gauge("model.compressed_bytes", model.compressed_bytes())
+    return model
 
 
 def quantize_model(

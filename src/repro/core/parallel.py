@@ -7,6 +7,11 @@ embarrassingly parallel.  :func:`quantize_layers` fans the per-tensor
 and records a :class:`QuantizationReport` — per-layer wall-time, iteration
 count, outlier fraction and byte accounting — so quantization-time cost is a
 measurable axis (as in Q8BERT and the PTQ surveys), not an invisible one.
+All timings come from :mod:`repro.obs` spans (``engine.run``, one
+``engine.layer`` per job), and the engine scopes each run so
+``report.metrics`` carries a :class:`~repro.obs.metrics.MetricsSnapshot`
+even when no trace sink is installed; span context is propagated into the
+pool workers so traces nest identically at any worker count (DESIGN.md §5c).
 
 Threads, not processes: the hot kernels (``searchsorted``/``bincount``/
 ``argmin`` inside the clustering loop) release the GIL, a thread pool shares
@@ -43,7 +48,6 @@ variable (default ``"fail"``).
 from __future__ import annotations
 
 import os
-import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping
@@ -54,6 +58,8 @@ from repro.core.formats import BYTES_PER_FP32
 from repro.core.outliers import DEFAULT_LOG_PROB_THRESHOLD
 from repro.core.quantizer import GoboQuantizedTensor, quantize_tensor
 from repro.errors import LayerSkipped, QuantizationError
+from repro.obs import recorder as obs
+from repro.obs.metrics import MetricsSnapshot
 from repro.utils.tables import format_table
 
 WORKERS_ENV = "REPRO_WORKERS"
@@ -132,6 +138,12 @@ class QuantizationReport:
     the per-layer times, so ``layer_seconds / wall_seconds`` is the effective
     parallelism actually achieved.  ``failures`` records every layer that
     needed a degradation policy (empty on a clean run).
+
+    Both timings are read from :mod:`repro.obs` spans (``engine.run`` and
+    ``engine.layer``), so the report and an exported trace can never
+    disagree.  ``metrics`` is the :class:`~repro.obs.metrics.MetricsSnapshot`
+    of every observability event the run produced — available whether or not
+    a trace sink was installed.
     """
 
     workers: int
@@ -139,6 +151,7 @@ class QuantizationReport:
     layers: list[LayerRecord] = field(default_factory=list)
     failures: list[LayerFailure] = field(default_factory=list)
     on_error: str = "fail"
+    metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot)
 
     @property
     def ok(self) -> bool:
@@ -304,30 +317,38 @@ def quantize_layers(
     on_error = resolve_on_error(on_error)
 
     def attempt(index: int, job: LayerJob, bits: int) -> tuple[GoboQuantizedTensor, LayerRecord]:
-        started = time.perf_counter()
-        weights = state[job.name]
-        if fault_injector is not None:
-            replacement = fault_injector(index, job, weights)
-            if replacement is not None:
-                weights = replacement
-        tensor, result = quantize_tensor(
-            weights,
-            bits=bits,
-            log_prob_threshold=log_prob_threshold,
-            method=method,
-            max_iterations=max_iterations,
-            validation=validation,
-        )
-        elapsed = time.perf_counter() - started
+        with obs.span("engine.layer", layer=job.name, bits=bits) as layer_span:
+            weights = state[job.name]
+            if fault_injector is not None:
+                replacement = fault_injector(index, job, weights)
+                if replacement is not None:
+                    weights = replacement
+            tensor, result = quantize_tensor(
+                weights,
+                bits=bits,
+                log_prob_threshold=log_prob_threshold,
+                method=method,
+                max_iterations=max_iterations,
+                validation=validation,
+            )
+            original_bytes = tensor.total_count * BYTES_PER_FP32
+            compressed_bytes = tensor.storage().compressed_bytes
+            layer_span.set(
+                iterations=result.iterations,
+                converged=result.converged,
+                outlier_fraction=tensor.outlier_fraction,
+                original_bytes=original_bytes,
+                compressed_bytes=compressed_bytes,
+            )
         record = LayerRecord(
             name=job.name,
             bits=bits,
-            seconds=elapsed,
+            seconds=layer_span.duration,
             iterations=result.iterations,
             converged=result.converged,
             outlier_fraction=tensor.outlier_fraction,
-            original_bytes=tensor.total_count * BYTES_PER_FP32,
-            compressed_bytes=tensor.storage().compressed_bytes,
+            original_bytes=original_bytes,
+            compressed_bytes=compressed_bytes,
         )
         return tensor, record
 
@@ -392,22 +413,41 @@ def quantize_layers(
             )
 
     indexed = list(enumerate(jobs))
-    started = time.perf_counter()
-    if workers == 1 or len(jobs) <= 1:
-        outcomes = [run(item) for item in indexed]
-    else:
-        with ThreadPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
-            outcomes = list(pool.map(run, indexed))
-    wall = time.perf_counter() - started
+    with obs.scope() as scoped:
+        # The workers gauge is the one event whose payload legitimately
+        # differs between otherwise identical runs at different worker
+        # counts; determinism comparisons exclude it by name (DESIGN §5c).
+        obs.gauge("engine.workers", workers)
+        obs.gauge("engine.queue.jobs", len(jobs))
+        with obs.span("engine.run") as engine_span:
+            # Worker threads re-attach the submitting thread's span context,
+            # so layer spans nest under engine.run at any worker count.
+            context = obs.capture_context()
 
-    quantized: dict[str, GoboQuantizedTensor] = {}
-    iterations: dict[str, int] = {}
-    report = QuantizationReport(workers=workers, wall_seconds=wall, on_error=on_error)
-    for outcome in outcomes:
-        if outcome.record is not None and outcome.tensor is not None:
-            quantized[outcome.record.name] = outcome.tensor
-            iterations[outcome.record.name] = outcome.record.iterations
-            report.layers.append(outcome.record)
-        if outcome.failure is not None:
-            report.failures.append(outcome.failure)
+            def run_in_context(item: tuple[int, LayerJob]) -> _JobOutcome:
+                with obs.use_context(context):
+                    return run(item)
+
+            if workers == 1 or len(jobs) <= 1:
+                outcomes = [run_in_context(item) for item in indexed]
+            else:
+                with ThreadPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
+                    outcomes = list(pool.map(run_in_context, indexed))
+
+        quantized: dict[str, GoboQuantizedTensor] = {}
+        iterations: dict[str, int] = {}
+        report = QuantizationReport(
+            workers=workers, wall_seconds=engine_span.duration, on_error=on_error
+        )
+        for outcome in outcomes:
+            if outcome.record is not None and outcome.tensor is not None:
+                quantized[outcome.record.name] = outcome.tensor
+                iterations[outcome.record.name] = outcome.record.iterations
+                report.layers.append(outcome.record)
+            if outcome.failure is not None:
+                report.failures.append(outcome.failure)
+        obs.counter("engine.layers.quantized", len(report.layers))
+        if report.failures:
+            obs.counter("engine.layers.degraded", len(report.failures))
+    report.metrics = scoped.snapshot()
     return quantized, iterations, report

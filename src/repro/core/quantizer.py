@@ -22,6 +22,7 @@ from repro.core.formats import StorageReport, storage_report
 from repro.core.outliers import DEFAULT_LOG_PROB_THRESHOLD, OutlierDetector
 from repro.core.validate import validate_tensor
 from repro.errors import LayerSkipped, QuantizationError
+from repro.obs import recorder as obs
 from repro.utils.bitpack import pack_bits, unpack_bits
 
 
@@ -137,6 +138,34 @@ def quantize_tensor(
         ``"skip"`` raises :class:`~repro.errors.LayerSkipped` so engine
         callers can ship the layer unquantized.
     """
+    with obs.span("quantize.tensor", bits=bits) as tensor_span:
+        tensor, result = _quantize_tensor(
+            weights,
+            bits=bits,
+            log_prob_threshold=log_prob_threshold,
+            method=method,
+            max_iterations=max_iterations,
+            validation=validation,
+        )
+        tensor_span.set(
+            method=method,
+            iterations=result.iterations,
+            converged=result.converged,
+            outlier_fraction=tensor.outlier_fraction,
+        )
+    obs.histogram("quantize.outlier_fraction", tensor.outlier_fraction)
+    obs.histogram("quantize.iterations", result.iterations)
+    return tensor, result
+
+
+def _quantize_tensor(
+    weights: np.ndarray,
+    bits: int,
+    log_prob_threshold: float,
+    method: str,
+    max_iterations: int,
+    validation: str,
+) -> tuple[GoboQuantizedTensor, ClusteringResult]:
     outcome = validate_tensor(weights, policy=validation)
     if outcome.skipped:
         raise LayerSkipped(

@@ -58,6 +58,7 @@ from repro.errors import (
     SerializationError,
     TruncatedArchiveError,
 )
+from repro.obs import recorder as obs
 from repro.utils.atomic import atomic_savez
 
 FORMAT_VERSION = 3
@@ -114,7 +115,10 @@ def save_quantized_model(model: QuantizedModel, path: str | Path) -> int:
     payload["index::embeddings"] = np.array(model.embedding_names, dtype=np.str_)
     payload["index::version"] = np.array([FORMAT_VERSION], dtype=np.int64)
     payload[CHECKSUM_KEY] = np.frombuffer(payload_checksum(payload), dtype=np.uint8)
-    return atomic_savez(_normalize_path(path), payload)
+    size = atomic_savez(_normalize_path(path), payload)
+    obs.counter("serialization.archives_written")
+    obs.counter("serialization.bytes_written", size)
+    return size
 
 
 def _read_archive(path: Path) -> dict[str, np.ndarray]:
@@ -178,6 +182,8 @@ def load_quantized_model(path: str | Path) -> QuantizedModel:
     """
     path = Path(path)
     arrays = _read_archive(path)
+    obs.counter("serialization.archives_read")
+    obs.counter("serialization.bytes_read", path.stat().st_size)
     version = _archive_version(arrays, path)
     if version >= 3:
         _verify_checksum(arrays, path)

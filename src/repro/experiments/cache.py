@@ -25,6 +25,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.errors import SerializationError
+from repro.obs import recorder as obs
 from repro.utils.atomic import atomic_savez
 
 
@@ -60,7 +61,9 @@ def save_state(key: str, state: dict[str, np.ndarray], scores: dict[str, float] 
     payload = {f"param::{name}": value for name, value in state.items()}
     for name, value in (scores or {}).items():
         payload[f"score::{name}"] = np.float64(value)
-    atomic_savez(checkpoint_path(key), payload)
+    size = atomic_savez(checkpoint_path(key), payload)
+    obs.counter("cache.saved")
+    obs.counter("cache.bytes_written", size)
 
 
 def _discard_corrupt(path: Path, reason: str) -> None:
@@ -84,8 +87,10 @@ def load_state(key: str) -> tuple[dict[str, np.ndarray], dict[str, float]] | Non
     """
     path = checkpoint_path(key)
     if not path.exists():
+        obs.counter("cache.miss")
         return None
     try:
+        size = path.stat().st_size
         with np.load(path) as archive:
             state = {
                 name[len("param::"):]: archive[name]
@@ -99,10 +104,14 @@ def load_state(key: str) -> tuple[dict[str, np.ndarray], dict[str, float]] | Non
             }
     except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile) as exc:
         _discard_corrupt(path, f"{type(exc).__name__}: {exc}")
+        obs.counter("cache.corrupt_evict")
         return None
     if not state:
         _discard_corrupt(path, "archive holds no parameters")
+        obs.counter("cache.corrupt_evict")
         return None
+    obs.counter("cache.hit")
+    obs.counter("cache.bytes_read", size)
     return state, scores
 
 

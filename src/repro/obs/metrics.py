@@ -1,0 +1,179 @@
+"""Metric instruments and aggregate snapshots.
+
+:class:`Counter`, :class:`Gauge` and :class:`Histogram` are thin named
+handles over the module-level emit functions in :mod:`repro.obs.recorder` —
+they record *events*; aggregation happens at read time so every sink sees
+the raw stream.  :class:`MetricsSnapshot` is that aggregation: counters sum,
+gauges keep their last value, histograms and spans keep count/total/min/max.
+`QuantizationReport.metrics` is one of these, so experiments and benchmarks
+can assert on observed behaviour (cache hits, bytes written, layer spans)
+without parsing a trace file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.utils.tables import format_table
+
+
+@dataclass
+class HistogramStats:
+    """Streaming summary of one histogram's observations."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+@dataclass
+class SpanStats:
+    """Count and cumulative duration of one span name."""
+
+    count: int = 0
+    total_seconds: float = 0.0
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+
+@dataclass
+class MetricsSnapshot:
+    """Aggregated view over a stream of observability events."""
+
+    counters: dict[str, float] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    histograms: dict[str, HistogramStats] = field(default_factory=dict)
+    spans: dict[str, SpanStats] = field(default_factory=dict)
+    events: int = 0
+
+    @classmethod
+    def from_events(cls, events: Iterable[dict]) -> "MetricsSnapshot":
+        snapshot = cls()
+        for event in events:
+            snapshot.ingest(event)
+        return snapshot
+
+    def ingest(self, event: dict) -> None:
+        kind, name = event.get("event"), event.get("name", "")
+        self.events += 1
+        if kind == "counter":
+            self.counters[name] = self.counters.get(name, 0.0) + float(event["value"])
+        elif kind == "gauge":
+            self.gauges[name] = float(event["value"])
+        elif kind == "histogram":
+            self.histograms.setdefault(name, HistogramStats()).observe(
+                float(event["value"])
+            )
+        elif kind == "span":
+            stats = self.spans.setdefault(name, SpanStats())
+            stats.count += 1
+            stats.total_seconds += float(event["duration"])
+
+    # -------------------------------------------------------------- accessors
+    def counter(self, name: str, default: float = 0.0) -> float:
+        return self.counters.get(name, default)
+
+    def gauge(self, name: str, default: float | None = None) -> float | None:
+        return self.gauges.get(name, default)
+
+    def histogram(self, name: str) -> HistogramStats:
+        return self.histograms.get(name, HistogramStats())
+
+    def span(self, name: str) -> SpanStats:
+        return self.spans.get(name, SpanStats())
+
+    def render(self) -> str:
+        """Aligned text tables: spans, counters, gauges, histograms."""
+        parts = []
+        if self.spans:
+            parts.append(format_table(
+                ["Span", "Count", "Total ms", "Mean ms"],
+                [
+                    [name, stats.count,
+                     f"{stats.total_seconds * 1000:.1f}",
+                     f"{stats.mean_seconds * 1000:.2f}"]
+                    for name, stats in sorted(self.spans.items())
+                ],
+                title="Spans",
+            ))
+        if self.counters:
+            parts.append(format_table(
+                ["Counter", "Total"],
+                [[name, f"{value:g}"] for name, value in sorted(self.counters.items())],
+                title="Counters",
+            ))
+        if self.gauges:
+            parts.append(format_table(
+                ["Gauge", "Last value"],
+                [[name, f"{value:g}"] for name, value in sorted(self.gauges.items())],
+                title="Gauges",
+            ))
+        if self.histograms:
+            parts.append(format_table(
+                ["Histogram", "Count", "Mean", "Min", "Max"],
+                [
+                    [name, stats.count, f"{stats.mean:g}",
+                     f"{stats.minimum:g}", f"{stats.maximum:g}"]
+                    for name, stats in sorted(self.histograms.items())
+                ],
+                title="Histograms",
+            ))
+        if not parts:
+            return "(no metrics recorded)"
+        return "\n\n".join(parts)
+
+
+class _Instrument:
+    """Base for named instruments: binds a name and default attrs."""
+
+    __slots__ = ("name", "attrs")
+
+    def __init__(self, name: str, **attrs):
+        self.name = name
+        self.attrs = attrs
+
+    def _merged(self, attrs: dict) -> dict:
+        if not self.attrs:
+            return attrs
+        return {**self.attrs, **attrs}
+
+
+class Counter(_Instrument):
+    """A monotonically accumulating count (cache hits, bytes written)."""
+
+    def inc(self, value: float = 1.0, **attrs) -> None:
+        from repro.obs import recorder
+
+        recorder.counter(self.name, value, **self._merged(attrs))
+
+
+class Gauge(_Instrument):
+    """A point-in-time level (queue depth, compression ratio)."""
+
+    def set(self, value: float, **attrs) -> None:
+        from repro.obs import recorder
+
+        recorder.gauge(self.name, value, **self._merged(attrs))
+
+
+class Histogram(_Instrument):
+    """A distribution of observations (per-layer outlier fractions)."""
+
+    def observe(self, value: float, **attrs) -> None:
+        from repro.obs import recorder
+
+        recorder.histogram(self.name, value, **self._merged(attrs))

@@ -1,0 +1,123 @@
+"""Replay a trace into human-readable summary tables (``repro profile``).
+
+The profiler is a pure function of the event stream: it joins the
+``engine.layer`` spans (one per quantized layer, carrying layer/bits/
+iterations/outlier-fraction/byte attrs) with the ``clustering.l1``
+convergence traces nested under them, and renders
+
+* a per-layer table — the observability twin of
+  ``QuantizationReport.render()``, reconstructed entirely from the trace
+  file after the fact, and
+* the aggregate metrics tables (spans, counters, gauges, histograms) from
+  :class:`~repro.obs.metrics.MetricsSnapshot`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.obs.events import read_trace
+from repro.obs.metrics import MetricsSnapshot
+from repro.utils.tables import format_table
+
+LAYER_SPAN = "engine.layer"
+ENGINE_SPAN = "engine.run"
+CONVERGENCE_TRACE = "clustering.l1"
+
+
+def layer_rows(events: list[dict]) -> list[dict]:
+    """One record per ``engine.layer`` span, joined with its L1 trajectory.
+
+    Layers appear in file order.  The join key is the inherited ``layer``
+    attr, which the recorder stamps on every event nested under a layer
+    span, so the association survives thread interleaving in the file.
+    """
+    trajectories: dict[str, list[float]] = {}
+    for event in events:
+        if event.get("event") == "trace" and event.get("name") == CONVERGENCE_TRACE:
+            layer = event.get("attrs", {}).get("layer")
+            if isinstance(layer, str):
+                trajectories[layer] = event.get("values", [])
+    rows = []
+    for event in events:
+        if event.get("event") != "span" or event.get("name") != LAYER_SPAN:
+            continue
+        attrs = event.get("attrs", {})
+        layer = attrs.get("layer")
+        trajectory = trajectories.get(layer, [])
+        rows.append({
+            "layer": layer,
+            "bits": attrs.get("bits"),
+            "iterations": attrs.get("iterations"),
+            "converged": attrs.get("converged"),
+            "outlier_fraction": attrs.get("outlier_fraction"),
+            "original_bytes": attrs.get("original_bytes"),
+            "compressed_bytes": attrs.get("compressed_bytes"),
+            "error": attrs.get("error"),
+            "seconds": event.get("duration", 0.0),
+            "l1_trajectory": trajectory,
+        })
+    return rows
+
+
+def layer_table(events: list[dict]) -> str:
+    """Render the per-layer summary table from a trace's events."""
+    rows = layer_rows(events)
+    if not rows:
+        return "(no engine.layer spans in trace)"
+
+    def fmt_ratio(row: dict) -> str:
+        original, compressed = row["original_bytes"], row["compressed_bytes"]
+        if not original or not compressed:
+            return "-"
+        return f"{original / compressed:.2f}x"
+
+    def fmt_l1(row: dict) -> str:
+        trajectory = row["l1_trajectory"]
+        if not trajectory:
+            return "-"
+        return f"{min(trajectory):.4g}"
+
+    def fmt_outliers(row: dict) -> str:
+        fraction = row["outlier_fraction"]
+        return "-" if fraction is None else f"{fraction * 100:.3f}%"
+
+    table_rows = [
+        [
+            row["layer"] if row["layer"] is not None else "?",
+            "-" if row["bits"] is None else row["bits"],
+            "-" if row["iterations"] is None else row["iterations"],
+            fmt_outliers(row),
+            fmt_ratio(row),
+            fmt_l1(row),
+            f"{row['seconds'] * 1000:.1f}",
+            row["error"] or "",
+        ]
+        for row in rows
+    ]
+    return format_table(
+        ["Layer", "Bits", "Iter", "Outlier %", "CR", "Final L1", "ms", "Error"],
+        table_rows,
+        title="Per-layer trace profile",
+    )
+
+
+def summarize(events: list[dict]) -> str:
+    """Full profile: per-layer table, engine totals, aggregate metrics."""
+    parts = [layer_table(events)]
+    engine_spans = [
+        event for event in events
+        if event.get("event") == "span" and event.get("name") == ENGINE_SPAN
+    ]
+    if engine_spans:
+        wall = sum(event.get("duration", 0.0) for event in engine_spans)
+        parts.append(
+            f"engine runs: {len(engine_spans)}, total wall {wall:.3f}s"
+        )
+    parts.append(MetricsSnapshot.from_events(events).render())
+    return "\n\n".join(parts)
+
+
+def profile_trace(path: str | Path) -> str:
+    """Validate and summarize a JSONL trace file."""
+    return summarize(read_trace(path))

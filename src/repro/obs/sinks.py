@@ -1,0 +1,115 @@
+"""Sinks: where recorded events go.
+
+The sink contract is two methods — ``emit(event: dict)`` and ``close()`` —
+called under the recorder's lock, so implementations need no locking of
+their own.  ``emit`` must not mutate the event (sinks share one dict per
+event) and must not raise on well-formed events; ``close`` is idempotent.
+
+Three implementations cover the three consumers named in ISSUE 4:
+
+* :class:`MemorySink` — in-memory list plus live aggregation, for tests and
+  for the engine's per-run metrics snapshot;
+* :class:`JsonlSink` — one JSON object per line on disk, the ``--trace``
+  format that ``repro profile`` replays;
+* :class:`SummarySink` — aggregates silently and prints a human table on
+  close, for CLI runs that want a profile without a file.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import IO, Protocol
+
+from repro.obs.metrics import MetricsSnapshot
+
+
+class Sink(Protocol):
+    """Anything that can receive observability events."""
+
+    def emit(self, event: dict) -> None: ...
+
+    def close(self) -> None: ...
+
+
+class MemorySink:
+    """Collects events in memory and aggregates them on the fly."""
+
+    def __init__(self):
+        self.events: list[dict] = []
+        self._snapshot = MetricsSnapshot()
+
+    def emit(self, event: dict) -> None:
+        self.events.append(event)
+        self._snapshot.ingest(event)
+
+    def close(self) -> None:
+        pass
+
+    def snapshot(self) -> MetricsSnapshot:
+        """The aggregate view of everything seen so far."""
+        return self._snapshot
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class JsonlSink:
+    """Appends each event as one JSON line to a file (the ``--trace`` format).
+
+    Lines are written with sorted keys and compact separators so the output
+    is byte-stable for identical event streams.  Each line is flushed as it
+    is written: a crashed run leaves a valid prefix, never a torn line.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle: IO[str] | None = open(self.path, "w", encoding="utf-8")
+        self.lines = 0
+
+    def emit(self, event: dict) -> None:
+        if self._handle is None:
+            return
+        self._handle.write(
+            json.dumps(event, sort_keys=True, separators=(",", ":")) + "\n"
+        )
+        self._handle.flush()
+        self.lines += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class SummarySink:
+    """Aggregates events and renders a human summary table on close."""
+
+    def __init__(self, stream: IO[str] | None = None):
+        self._memory = MemorySink()
+        self._stream = stream
+        self._closed = False
+
+    def emit(self, event: dict) -> None:
+        self._memory.emit(event)
+
+    def snapshot(self) -> MetricsSnapshot:
+        return self._memory.snapshot()
+
+    @property
+    def events(self) -> list[dict]:
+        return self._memory.events
+
+    def render(self) -> str:
+        from repro.obs.profile import summarize
+
+        return summarize(self._memory.events)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        stream = self._stream if self._stream is not None else sys.stdout
+        print(self.render(), file=stream)

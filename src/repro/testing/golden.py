@@ -1,0 +1,107 @@
+"""Golden archive fixtures: canonical tiny archives for every format version.
+
+The serialization format has lived through three versions (v1: no iteration
+counts, v2: iteration counts + pickle-free indexes, v3: SHA-256 checksum).
+Old archives on disk must keep loading forever, so ``tests/data/`` checks in
+one tiny archive per version and ``tests/core/test_golden_archives.py``
+locks their loads.  The payloads here are built **by hand** — fixed
+centroids, codes and outliers, not the output of the quantizer — so the
+fixtures pin the *format*, independent of how the quantization algorithm
+evolves.
+
+Regenerate the checked-in files (byte-identical, thanks to the
+deterministic zip writer) with::
+
+    PYTHONPATH=src python scripts/make_golden_archives.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.quantizer import GoboQuantizedTensor
+from repro.core.serialization import payload_checksum
+from repro.utils.atomic import atomic_savez
+from repro.utils.bitpack import pack_bits
+
+GOLDEN_VERSIONS = (1, 2, 3)
+
+#: The one quantized tensor every golden archive stores.
+TENSOR_NAME = "w"
+SHAPE = (4, 5)
+BITS = 2
+ITERATIONS = 7  # recorded from v2 on; v1 archives predate the field
+#: Exactly float32-representable centroids (powers of two), so the
+#: float64 -> float32 -> float64 round-trip through the file is lossless.
+CENTROIDS = (-0.0625, -0.015625, 0.03125, 0.0625)
+#: Flat indices (in the 4x5 tensor) held out of the G group as outliers.
+OUTLIER_POSITIONS = (3, 17)
+OUTLIER_VALUES = (0.5, -0.375)
+#: Centroid index per G-group weight, flat order, outlier slots skipped.
+CODES = (0, 1, 2, 3, 3, 2, 1, 0, 0, 0, 1, 1, 2, 2, 3, 3, 0, 2)
+#: The one pass-through FP32 parameter.
+FP32_NAME = "bias"
+FP32_VALUES = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+def golden_tensor() -> GoboQuantizedTensor:
+    """The quantized tensor all three golden archives encode."""
+    return GoboQuantizedTensor(
+        shape=SHAPE,
+        bits=BITS,
+        centroids=np.array(CENTROIDS, dtype=np.float64),
+        packed_codes=pack_bits(np.array(CODES, dtype=np.int64), BITS),
+        outlier_positions=np.array(OUTLIER_POSITIONS, dtype=np.int64),
+        outlier_values=np.array(OUTLIER_VALUES, dtype=np.float64),
+    )
+
+
+def expected_state_dict() -> dict[str, np.ndarray]:
+    """What loading any golden archive must reconstruct (float64)."""
+    return {
+        TENSOR_NAME: golden_tensor().dequantize(dtype=np.float64),
+        FP32_NAME: np.array(FP32_VALUES, dtype=np.float64),
+    }
+
+
+def golden_payload(version: int) -> dict[str, np.ndarray]:
+    """The raw npz payload of the golden archive for ``version``."""
+    if version not in GOLDEN_VERSIONS:
+        raise ValueError(f"no golden payload for format version {version}")
+    tensor = golden_tensor()
+    prefix = f"gobo::{TENSOR_NAME}"
+    if version == 1:
+        meta = np.array([BITS, *SHAPE], dtype=np.int64)
+    else:
+        meta = np.array([BITS, ITERATIONS, *SHAPE], dtype=np.int64)
+    payload: dict[str, np.ndarray] = {
+        f"{prefix}::codes": np.frombuffer(tensor.packed_codes, dtype=np.uint8),
+        f"{prefix}::centroids": tensor.centroids.astype(np.float32),
+        f"{prefix}::positions": tensor.outlier_positions.astype(np.uint32),
+        f"{prefix}::outliers": tensor.outlier_values.astype(np.float32),
+        f"{prefix}::meta": meta,
+        f"fp32::{FP32_NAME}": np.array(FP32_VALUES, dtype=np.float32),
+        "index::fc": np.array([TENSOR_NAME], dtype=np.str_),
+        "index::embeddings": np.array([], dtype=np.str_),
+    }
+    if version >= 2:
+        payload["index::version"] = np.array([version], dtype=np.int64)
+    if version >= 3:
+        payload["index::checksum"] = np.frombuffer(
+            payload_checksum(payload), dtype=np.uint8
+        )
+    return payload
+
+
+def golden_path(data_dir: str | Path, version: int) -> Path:
+    return Path(data_dir) / f"golden_v{version}.npz"
+
+
+def write_golden(data_dir: str | Path, version: int) -> Path:
+    """Write the golden archive for ``version`` under ``data_dir``."""
+    path = golden_path(data_dir, version)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    atomic_savez(path, golden_payload(version))
+    return path

@@ -1,4 +1,4 @@
-"""Crash-safe archive writes: write-tmp, fsync, rename.
+"""Crash-safe, byte-deterministic archive writes: write-tmp, fsync, rename.
 
 ``np.savez`` writes the destination in place, so a crash (or a full disk)
 mid-write leaves a truncated zip that readers then have to treat as corrupt.
@@ -7,16 +7,32 @@ stable storage, and atomically renames it over the destination — readers see
 either the old complete archive or the new complete archive, never a torn
 one.  The directory entry is fsynced as well so the rename itself survives a
 power loss.
+
+The zip is also **byte-deterministic**: ``np.savez`` stamps each member with
+the wall-clock DOS timestamp (2-second granularity), so two identical
+payloads saved moments apart produce different files.  Here every member
+carries a fixed epoch timestamp and fixed attributes, so identical payloads
+produce identical bytes — which is what lets the test suite assert that
+archives are *bit-identical* across worker counts and tracing modes, and
+lets golden fixtures be regenerated reproducibly.  The member layout
+(``<name>.npy`` entries in payload order, numpy ``.npy`` v1 encoding,
+ZIP_STORED) matches ``np.savez``, so ``np.load`` reads the result
+unchanged.
 """
 
 from __future__ import annotations
 
 import os
 import uuid
+import zipfile
 from pathlib import Path
-from typing import Mapping
+from typing import IO, Mapping
 
 import numpy as np
+from numpy.lib import format as _npformat
+
+#: The DOS-epoch timestamp stamped on every archive member (determinism).
+ZIP_EPOCH = (1980, 1, 1, 0, 0, 0)
 
 
 def fsync_directory(directory: Path) -> None:
@@ -33,17 +49,37 @@ def fsync_directory(directory: Path) -> None:
         os.close(fd)
 
 
+def write_npz(handle: IO[bytes], payload: Mapping[str, np.ndarray]) -> None:
+    """Write ``payload`` as a byte-deterministic npz stream to ``handle``.
+
+    Mirrors ``np.savez`` (one ``<name>.npy`` member per array, ZIP_STORED)
+    but stamps every member with :data:`ZIP_EPOCH` and fixed attributes so
+    identical payloads always yield identical bytes.
+    """
+    with zipfile.ZipFile(handle, "w", zipfile.ZIP_STORED, allowZip64=True) as archive:
+        for name, value in payload.items():
+            info = zipfile.ZipInfo(f"{name}.npy", date_time=ZIP_EPOCH)
+            info.compress_type = zipfile.ZIP_STORED
+            info.create_system = 0
+            info.external_attr = 0o644 << 16
+            with archive.open(info, "w", force_zip64=True) as member:
+                _npformat.write_array(
+                    member, np.asanyarray(value), allow_pickle=False
+                )
+
+
 def atomic_savez(path: str | Path, payload: Mapping[str, np.ndarray]) -> int:
     """Atomically write ``payload`` as an npz archive at ``path``.
 
     The caller is responsible for suffix normalization; ``path`` is written
-    exactly as given.  Returns the byte size of the file written.
+    exactly as given.  Returns the byte size of the file written.  Identical
+    payloads produce byte-identical archives (see :func:`write_npz`).
     """
     path = Path(path)
     tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}-{uuid.uuid4().hex[:8]}")
     try:
         with open(tmp, "wb") as handle:
-            np.savez(handle, **dict(payload))
+            write_npz(handle, payload)
             handle.flush()
             os.fsync(handle.fileno())
         size = tmp.stat().st_size

@@ -1,0 +1,82 @@
+"""Golden-file fixtures lock backward-compatible archive loads.
+
+``tests/data/golden_v{1,2,3}.npz`` are checked-in binaries built by
+``scripts/make_golden_archives.py`` from hand-written payloads
+(:mod:`repro.testing.golden`).  These tests load the *files as committed*,
+so any future format change that would silently break archives already on
+disk fails here first.
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.serialization import load_quantized_model, verify_archive
+from repro.testing import golden
+
+DATA_DIR = Path(__file__).resolve().parents[1] / "data"
+
+pytestmark = pytest.mark.parametrize("version", golden.GOLDEN_VERSIONS)
+
+
+def _path(version: int) -> Path:
+    path = golden.golden_path(DATA_DIR, version)
+    assert path.exists(), (
+        f"missing golden fixture {path}; run scripts/make_golden_archives.py"
+    )
+    return path
+
+
+def test_golden_archive_loads(version):
+    model = load_quantized_model(_path(version))
+    assert model.fc_names == (golden.TENSOR_NAME,)
+    assert model.embedding_names == ()
+    assert set(model.quantized) == {golden.TENSOR_NAME}
+    assert set(model.fp32) == {golden.FP32_NAME}
+
+
+def test_golden_tensor_reconstructs_exactly(version):
+    """Centroids/outliers were chosen float32-exact, so the decode is exact."""
+    model = load_quantized_model(_path(version))
+    expected = golden.expected_state_dict()
+    state = model.state_dict(dtype=np.float64)
+    assert set(state) == set(expected)
+    for name, value in expected.items():
+        np.testing.assert_array_equal(state[name], value, err_msg=name)
+
+
+def test_golden_tensor_metadata(version):
+    tensor = load_quantized_model(_path(version)).quantized[golden.TENSOR_NAME]
+    assert tensor.shape == golden.SHAPE
+    assert tensor.bits == golden.BITS
+    np.testing.assert_array_equal(
+        tensor.outlier_positions, np.array(golden.OUTLIER_POSITIONS)
+    )
+    assert tensor.codes().tolist() == list(golden.CODES)
+
+
+def test_iterations_survive_from_v2_on(version):
+    """v1 predates iteration counts; v2+ archives must restore them."""
+    model = load_quantized_model(_path(version))
+    if version == 1:
+        assert model.iterations == {}
+    else:
+        assert model.iterations == {golden.TENSOR_NAME: golden.ITERATIONS}
+
+
+def test_verify_archive_classification(version):
+    check = verify_archive(_path(version))
+    assert check.ok
+    assert check.version == version
+    assert check.status == ("ok" if version >= 3 else "ok-unchecksummed")
+
+
+def test_regeneration_is_byte_identical(version, tmp_path):
+    """The deterministic writer reproduces the committed fixture exactly.
+
+    If this fails, either the zip writer or the payload layout changed —
+    both are format events that need a version bump, not a silent rewrite.
+    """
+    regenerated = golden.write_golden(tmp_path, version)
+    assert regenerated.read_bytes() == _path(version).read_bytes()

@@ -78,3 +78,32 @@ class TestCache:
     def test_empty_key_rejected(self):
         with pytest.raises(Exception):
             cache.checkpoint_path("")
+
+
+class TestCacheObservability:
+    """The cache emits hit/miss/corrupt-evict counters and byte counts."""
+
+    def test_miss_hit_and_bytes(self, rng):
+        from repro import obs
+
+        with obs.scope() as scoped:
+            assert cache.load_state("fresh") is None
+            cache.save_state("fresh", {"x": rng.normal(size=16)})
+            assert cache.load_state("fresh") is not None
+        snapshot = scoped.snapshot()
+        assert snapshot.counter("cache.miss") == 1
+        assert snapshot.counter("cache.hit") == 1
+        assert snapshot.counter("cache.saved") == 1
+        size = cache.checkpoint_path("fresh").stat().st_size
+        assert snapshot.counter("cache.bytes_written") == size
+        assert snapshot.counter("cache.bytes_read") == size
+
+    def test_corrupt_evict_counted(self):
+        from repro import obs
+
+        cache.checkpoint_path("bad").write_bytes(b"not an npz")
+        with obs.scope() as scoped:
+            with pytest.warns(cache.CacheCorruptionWarning):
+                assert cache.load_state("bad") is None
+        assert scoped.snapshot().counter("cache.corrupt_evict") == 1
+        assert scoped.snapshot().counter("cache.hit") == 0

@@ -58,6 +58,26 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["verify-archive"])
 
+    def test_quantize_trace_flags(self):
+        args = build_parser().parse_args(
+            ["quantize", "--trace", "run.jsonl", "--trace-summary"]
+        )
+        assert args.trace == "run.jsonl"
+        assert args.trace_summary is True
+        defaults = build_parser().parse_args(["quantize"])
+        assert defaults.trace is None
+        assert defaults.trace_summary is False
+
+    def test_profile_parses(self):
+        args = build_parser().parse_args(["profile", "run.jsonl", "--check"])
+        assert args.command == "profile"
+        assert args.path == "run.jsonl"
+        assert args.check is True
+
+    def test_profile_requires_path(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile"])
+
 
 class TestCommands:
     def test_list_prints_all_targets(self, capsys):
@@ -145,6 +165,59 @@ class TestVerifyArchive:
         capsys.readouterr()
         assert main(["verify-archive", str(archive)]) == 1
         assert "checksum-mismatch" in capsys.readouterr().out
+
+
+class TestTraceAndProfile:
+    def test_quantize_trace_then_profile(self, capsys, tmp_path):
+        trace = tmp_path / "run.jsonl"
+        assert main([
+            "quantize", "--embedding-bits", "none",
+            "--out", str(tmp_path / "model"), "--trace", str(trace),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert f"trace written: {trace}" in out
+        assert trace.exists()
+
+        assert main(["profile", "--check", str(trace)]) == 0
+        assert "schema ok" in capsys.readouterr().out
+
+        assert main(["profile", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "Per-layer trace profile" in out
+        assert "serialization.bytes_written" in out
+
+    def test_quantize_trace_summary_prints_tables(self, capsys):
+        assert main([
+            "quantize", "--embedding-bits", "none", "--trace-summary",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Per-layer trace profile" in out
+        assert "engine.run" in out
+
+    def test_profile_missing_file(self, tmp_path, capsys):
+        assert main(["profile", str(tmp_path / "absent.jsonl")]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_profile_rejects_bad_trace(self, tmp_path, capsys):
+        trace = tmp_path / "bad.jsonl"
+        trace.write_text('{"v": 99}\n')
+        assert main(["profile", "--check", str(trace)]) == 1
+        err = capsys.readouterr().err
+        assert "line 1" in err and "schema violation" in err
+
+    def test_quantize_leaves_no_sink_installed_on_error(self, tmp_path, monkeypatch):
+        from repro import obs
+        from repro.errors import QuantizationError
+
+        def explode(*_args, **_kwargs):
+            raise QuantizationError("injected")
+
+        monkeypatch.setattr("repro.core.model_quantizer.quantize_model", explode)
+        assert main([
+            "quantize", "--embedding-bits", "none",
+            "--trace", str(tmp_path / "t.jsonl"),
+        ]) == 2
+        assert obs.installed_sinks() == ()
 
 
 class TestQuantizeDegraded:

@@ -6,6 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.utils.bitpack import pack_bits, packed_nbytes, unpack_bits
+from repro.utils.rng import derive_rng
 
 
 class TestPackedNbytes:
@@ -89,3 +90,43 @@ class TestRoundTrip:
     @settings(max_examples=50, deadline=None)
     def test_packed_size_is_ceiling(self, count, bits):
         assert packed_nbytes(count, bits) == -(-count * bits // 8)
+
+
+class TestRandomizedRoundTrip:
+    """Property-style round trips over the GOBO operating range.
+
+    Widths 1-8 (the quantizer's accepted range), lengths 0-4096, seeded via
+    :mod:`repro.utils.rng` so every run exercises the same cases.
+    """
+
+    CASES_PER_WIDTH = 32
+
+    @pytest.mark.parametrize("bits", range(1, 9))
+    def test_pack_unpack_identity(self, bits):
+        rng = derive_rng(20260806, "bitpack-roundtrip", bits)
+        for case in range(self.CASES_PER_WIDTH):
+            count = int(rng.integers(0, 4097))
+            values = rng.integers(0, 1 << bits, size=count)
+            packed = pack_bits(values, bits)
+            recovered = unpack_bits(packed, bits, count)
+            np.testing.assert_array_equal(
+                recovered, values, err_msg=f"bits={bits} case={case} count={count}"
+            )
+
+    @pytest.mark.parametrize("bits", range(1, 9))
+    def test_packed_size_formula_exact(self, bits):
+        """len(pack_bits(..)) is exactly ceil(count * bits / 8), no padding."""
+        rng = derive_rng(20260806, "bitpack-size", bits)
+        counts = [0, 1, 7, 8, 9, 4096] + [int(c) for c in rng.integers(0, 4097, size=16)]
+        for count in counts:
+            values = rng.integers(0, 1 << bits, size=count)
+            packed = pack_bits(values, bits)
+            assert len(packed) == (count * bits + 7) // 8 == packed_nbytes(count, bits)
+
+    @pytest.mark.parametrize("bits", range(1, 9))
+    def test_boundary_values_survive(self, bits):
+        """All-zeros and all-max streams round-trip at every width."""
+        for value in (0, (1 << bits) - 1):
+            values = np.full(4096, value, dtype=np.int64)
+            recovered = unpack_bits(pack_bits(values, bits), bits, values.size)
+            np.testing.assert_array_equal(recovered, values)

@@ -9,14 +9,22 @@ Subcommands::
     python -m repro quantize --workers 4 --report   # compress a zoo model
     python -m repro quantize --on-error fp32-fallback     # degrade, don't die
     python -m repro quantize --trace run.jsonl      # export an obs trace
-    python -m repro verify-archive model.npz  # classify an archive on disk
+    python -m repro quantize --job-dir jobs/run1    # durable: journal + shards
+    python -m repro quantize --job-dir jobs/run1 --resume   # continue after a kill
+    python -m repro jobs status jobs/run1     # completed / failed / pending
+    python -m repro verify-archive a.npz b.npz      # classify archives on disk
     python -m repro profile run.jsonl         # replay a trace as tables
     python -m repro profile --check run.jsonl # schema-validate only (CI)
+
+A durable ``quantize`` run exits 0 on completion, 75
+(:data:`repro.jobs.signals.EXIT_INTERRUPTED`) after a graceful SIGINT/SIGTERM
+drain (rerun with ``--resume``), and ``128+signum`` on a second signal.
 """
 
 from __future__ import annotations
 
 import argparse
+import functools
 import sys
 import time
 
@@ -75,8 +83,10 @@ def _cmd_quantize(args: argparse.Namespace) -> int:
     from repro import obs
     from repro.core.model_quantizer import quantize_model
     from repro.core.serialization import save_quantized_model
-    from repro.errors import ConfigError, QuantizationError
+    from repro.errors import ConfigError, JobStateError, QuantizationError
+    from repro.jobs.signals import EXIT_INTERRUPTED, GracefulInterrupt
     from repro.models import build_model, get_config
+    from repro.testing.faults import injector_from_env
 
     try:
         config = get_config(args.config)
@@ -92,6 +102,24 @@ def _cmd_quantize(args: argparse.Namespace) -> int:
             print(f"--embedding-bits must be an int or 'none', got {args.embedding_bits!r}",
                   file=sys.stderr)
             return 2
+    if args.resume and not args.job_dir:
+        print("--resume requires --job-dir", file=sys.stderr)
+        return 2
+    engine = None
+    if args.job_dir:
+        from repro.jobs.runner import run_durable_layers
+
+        engine = functools.partial(
+            run_durable_layers,
+            job_dir=args.job_dir,
+            resume=args.resume,
+            fingerprint_extra={"config": args.config, "seed": args.seed},
+        )
+    try:
+        fault_injector = injector_from_env()
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
 
     sinks: list = []
     trace_sink = None
@@ -105,27 +133,33 @@ def _cmd_quantize(args: argparse.Namespace) -> int:
     for sink in sinks:
         obs.install(sink)
     try:
-        quantized = quantize_model(
-            model,
-            weight_bits=args.weight_bits,
-            embedding_bits=embedding_bits,
-            method=args.method,
-            workers=args.workers,
-            on_error=args.on_error,
-            validation=args.validation,
-        )
-        if args.out:
+        with GracefulInterrupt() as interrupt:
+            quantized = quantize_model(
+                model,
+                weight_bits=args.weight_bits,
+                embedding_bits=embedding_bits,
+                method=args.method,
+                workers=args.workers,
+                on_error=args.on_error,
+                validation=args.validation,
+                fault_injector=fault_injector,
+                layer_timeout=args.layer_timeout,
+                transient_retries=args.transient_retries,
+                cancel=interrupt.event,
+                engine=engine,
+            )
+        report = quantized.report
+        if not report.interrupted and args.out:
             archive_size = save_quantized_model(quantized, args.out)
         else:
             archive_size = None
-    except QuantizationError as exc:
+    except (QuantizationError, JobStateError) as exc:
         print(exc, file=sys.stderr)
         return 2
     finally:
         for sink in sinks:
             obs.uninstall(sink)
             sink.close()  # SummarySink renders its table here
-    report = quantized.report
     print(
         f"{config.name}: {model.num_parameters()} parameters, "
         f"{len(report.layers)} tensors quantized in {report.wall_seconds:.3f}s "
@@ -135,6 +169,8 @@ def _cmd_quantize(args: argparse.Namespace) -> int:
         f"compression {quantized.model_compression_ratio():.2f}x, "
         f"outliers {quantized.outlier_fraction() * 100:.3f}%"
     )
+    if report.resumed_layers:
+        print(f"resumed: {report.resumed_layers} layer(s) loaded from {args.job_dir}")
     if report.failures:
         print(
             f"WARNING: {len(report.failures)} layer(s) degraded "
@@ -151,7 +187,28 @@ def _cmd_quantize(args: argparse.Namespace) -> int:
         print(f"\narchive written: {args.out} ({archive_size / 1024:.1f} KiB)")
     if trace_sink is not None:
         print(f"trace written: {trace_sink.path} ({trace_sink.lines} events)")
+    if report.interrupted:
+        where = f" --job-dir {args.job_dir} --resume" if args.job_dir else ""
+        print(
+            f"interrupted: {len(report.pending)} layer(s) pending; "
+            f"rerun with{where or ' --resume'} to continue",
+            file=sys.stderr,
+        )
+        return EXIT_INTERRUPTED
     return 0
+
+
+def _cmd_jobs_status(args: argparse.Namespace) -> int:
+    from repro.errors import JobStateError
+    from repro.jobs.runner import job_status, render_status
+
+    try:
+        status = job_status(args.job_dir)
+    except JobStateError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print(render_status(status))
+    return 0 if status.complete else 1
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -181,11 +238,22 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 def _cmd_verify_archive(args: argparse.Namespace) -> int:
     from repro.core.serialization import verify_archive
 
-    check = verify_archive(args.path)
-    version = "?" if check.version is None else str(check.version)
-    print(f"{check.path}: {check.status} (format version {version})")
-    print(check.detail)
-    return 0 if check.ok else 1
+    failed = 0
+    for path in args.paths:
+        check = verify_archive(path)
+        if not check.ok:
+            failed += 1
+        if not args.quiet:
+            version = "?" if check.version is None else str(check.version)
+            print(f"{check.path}: {check.status} (format version {version})")
+            print(check.detail)
+        elif not check.ok:
+            # --quiet still names each failure; silence would hide the reason
+            # the exit code is nonzero.
+            print(f"{check.path}: {check.status}", file=sys.stderr)
+    if not args.quiet and len(args.paths) > 1:
+        print(f"{len(args.paths) - failed}/{len(args.paths)} archive(s) ok")
+    return 1 if failed else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -243,7 +311,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-summary", action="store_true",
         help="print the observability summary tables after the run",
     )
+    quantize.add_argument(
+        "--job-dir", default=None, metavar="DIR",
+        help="durable mode: journal every completed layer to DIR (shards + JSONL)",
+    )
+    quantize.add_argument(
+        "--resume", action="store_true",
+        help="continue an interrupted durable run (requires --job-dir)",
+    )
+    quantize.add_argument(
+        "--layer-timeout", type=float, default=None, metavar="S",
+        help="per-layer watchdog deadline in seconds; default REPRO_LAYER_TIMEOUT or off",
+    )
+    quantize.add_argument(
+        "--transient-retries", type=int, default=None, metavar="N",
+        help="in-place retries for transient (I/O) errors per layer; "
+             "default REPRO_TRANSIENT_RETRIES or 0",
+    )
     quantize.set_defaults(func=_cmd_quantize)
+    jobs = sub.add_parser("jobs", help="inspect durable quantization jobs")
+    jobs_sub = jobs.add_subparsers(dest="jobs_command", required=True)
+    jobs_status = jobs_sub.add_parser(
+        "status",
+        help="summarize a job directory's journal: completed / failed / pending",
+    )
+    jobs_status.add_argument("job_dir", help="the --job-dir of a durable run")
+    jobs_status.set_defaults(func=_cmd_jobs_status)
     profile = sub.add_parser(
         "profile",
         help="replay a --trace JSONL file into per-layer and metric tables",
@@ -256,9 +349,15 @@ def build_parser() -> argparse.ArgumentParser:
     profile.set_defaults(func=_cmd_profile)
     verify = sub.add_parser(
         "verify-archive",
-        help="classify an archive: ok / missing / truncated / checksum-mismatch / version-unknown",
+        help="classify archives: ok / missing / truncated / checksum-mismatch / version-unknown",
     )
-    verify.add_argument("path", help="path to the .npz archive")
+    verify.add_argument(
+        "paths", nargs="+", metavar="PATH", help="path(s) to .npz archives"
+    )
+    verify.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-archive output (failures still go to stderr); exit code only",
+    )
     verify.set_defaults(func=_cmd_verify_archive)
     return parser
 

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.core.binning import assign_to_centroids, equal_population_centroids
 from repro.errors import QuantizationError
+from repro.jobs.watchdog import checkpoint
 from repro.obs import recorder as obs
 
 
@@ -128,6 +129,9 @@ def gobo_cluster(
     best = (centroids, assignment)
     converged = False
     for _ in range(max_iterations):
+        # Cooperative watchdog cancellation: a no-op unless the engine armed
+        # a per-layer deadline (repro.jobs.watchdog, DESIGN.md §5d).
+        checkpoint()
         centroids = _update_centroids(flat, assignment, num_bins, centroids)
         assignment = assign_to_centroids(flat, centroids)
         trace.record(flat, centroids, assignment)
@@ -184,6 +188,7 @@ def kmeans_cluster(
     trace.record(flat, centroids, assignment)
     converged = False
     for _ in range(max_iterations):
+        checkpoint()
         centroids = _update_centroids(flat, assignment, num_bins, centroids)
         new_assignment = assign_to_centroids(flat, centroids)
         trace.record(flat, centroids, new_assignment)

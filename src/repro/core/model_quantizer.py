@@ -148,6 +148,10 @@ def quantize_state_dict(
     on_error: str | None = "fail",
     validation: str = "strict",
     fault_injector: FaultInjector | None = None,
+    layer_timeout: float | None = None,
+    transient_retries: int | None = None,
+    cancel=None,
+    engine=None,
 ) -> QuantizedModel:
     """Quantize selected tensors of a state dict; pass the rest through.
 
@@ -161,6 +165,14 @@ def quantize_state_dict(
     ``REPRO_WORKERS`` environment default).  The output is bit-for-bit
     identical for every worker count; the engine's per-layer timings are
     attached as ``QuantizedModel.report``.
+
+    ``layer_timeout``/``transient_retries``/``cancel`` configure the
+    engine's per-layer watchdog, transient-retry budget, and cooperative
+    cancellation (None defers to ``REPRO_LAYER_TIMEOUT`` /
+    ``REPRO_TRANSIENT_RETRIES``).  ``engine`` swaps the layer engine itself
+    — any callable with :func:`~repro.core.parallel.quantize_layers`'s
+    signature, e.g. :func:`repro.jobs.runner.run_durable_layers` partially
+    bound to a job directory for checkpoint/resume durability.
 
     ``on_error``/``validation``/``fault_injector`` are forwarded to the
     engine (see :mod:`repro.core.parallel`).  A layer resolved by
@@ -177,7 +189,8 @@ def quantize_state_dict(
     jobs = [LayerJob(name=name, bits=policy.bits_for(name)) for name in fc_names]
     if embedding_bits is not None:
         jobs.extend(LayerJob(name=name, bits=embedding_bits) for name in embedding_names)
-    quantized, iterations, report = quantize_layers(
+    run_engine = engine if engine is not None else quantize_layers
+    quantized, iterations, report = run_engine(
         state,
         jobs,
         log_prob_threshold=log_prob_threshold,
@@ -186,6 +199,9 @@ def quantize_state_dict(
         on_error=on_error,
         validation=validation,
         fault_injector=fault_injector,
+        layer_timeout=layer_timeout,
+        transient_retries=transient_retries,
+        cancel=cancel,
     )
 
     dropped = {failure.name for failure in report.failures if failure.dropped}
@@ -222,6 +238,10 @@ def quantize_model(
     on_error: str | None = "fail",
     validation: str = "strict",
     fault_injector: FaultInjector | None = None,
+    layer_timeout: float | None = None,
+    transient_retries: int | None = None,
+    cancel=None,
+    engine=None,
 ) -> QuantizedModel:
     """Quantize a live model's BERT FC layers and embedding tables.
 
@@ -242,4 +262,8 @@ def quantize_model(
         on_error=on_error,
         validation=validation,
         fault_injector=fault_injector,
+        layer_timeout=layer_timeout,
+        transient_retries=transient_retries,
+        cancel=cancel,
+        engine=engine,
     )

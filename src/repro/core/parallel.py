@@ -43,11 +43,32 @@ Every non-"fail" outcome is captured as a :class:`LayerFailure` in the
 report, so degraded runs are loud in the instrumentation even though they
 complete.  ``on_error=None`` defers to the ``REPRO_ON_ERROR`` environment
 variable (default ``"fail"``).
+
+Supervision (``layer_timeout`` / ``transient_retries`` / ``cancel``): the
+durable-job layer (:mod:`repro.jobs`) runs the engine supervised:
+
+* ``layer_timeout=S`` arms a per-layer :class:`~repro.jobs.watchdog.Deadline`
+  (cooperatively checked inside the clustering loop, flagged by a monitor
+  thread) so a hung or pathologically slow layer becomes a
+  ``LayerFailure(action="timeout")`` resolved by the ``on_error`` policy
+  instead of stalling the whole run;
+* ``transient_retries=N`` re-attempts a layer in place (exponential backoff
+  with deterministic jitter) when it fails with a *transient* error — I/O
+  errors, injected transient faults — before any ``on_error`` policy fires;
+* ``cancel`` (a :class:`threading.Event`) drains the run: layers not yet
+  started are left pending (``report.pending``), in-flight layers finish,
+  and ``report.interrupted`` is set.  Graceful SIGINT/SIGTERM handling in
+  :mod:`repro.jobs.signals` sets this event.
+* ``on_layer_complete`` is invoked (serialized under a lock) with each
+  layer's final :class:`LayerOutcome` the moment it finishes — the hook the
+  durable runner uses to journal and shard completed layers immediately.
 """
 
 from __future__ import annotations
 
 import os
+import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping
@@ -57,13 +78,17 @@ import numpy as np
 from repro.core.formats import BYTES_PER_FP32
 from repro.core.outliers import DEFAULT_LOG_PROB_THRESHOLD
 from repro.core.quantizer import GoboQuantizedTensor, quantize_tensor
-from repro.errors import LayerSkipped, QuantizationError
+from repro.errors import LayerSkipped, LayerTimeoutError, QuantizationError
+from repro.jobs.retry import DEFAULT_BACKOFF_BASE, backoff_delay, is_transient
+from repro.jobs.watchdog import Deadline, Watchdog, deadline_scope
 from repro.obs import recorder as obs
 from repro.obs.metrics import MetricsSnapshot
 from repro.utils.tables import format_table
 
 WORKERS_ENV = "REPRO_WORKERS"
 ON_ERROR_ENV = "REPRO_ON_ERROR"
+LAYER_TIMEOUT_ENV = "REPRO_LAYER_TIMEOUT"
+TRANSIENT_RETRIES_ENV = "REPRO_TRANSIENT_RETRIES"
 ON_ERROR_POLICIES = ("fail", "skip", "fp32-fallback", "retry-higher-bits")
 MAX_RETRY_BITS = 8
 
@@ -107,10 +132,13 @@ class LayerFailure:
 
     ``action`` records how the engine resolved it: ``"skip"`` (dropped),
     ``"fp32-fallback"`` (shipped unquantized), ``"validation-skip"``
-    (rejected by the ``skip`` validation policy, shipped unquantized) or
+    (rejected by the ``skip`` validation policy, shipped unquantized),
     ``"retry-higher-bits"`` (recovered at ``recovered_bits`` — the layer
-    *is* quantized, just wider than requested).  ``attempts`` lists every
-    bit width tried.
+    *is* quantized, just wider than requested) or ``"timeout"`` (the layer
+    blew its watchdog deadline; ``resolution`` records how the ``on_error``
+    policy disposed of it — ``"skip"`` or ``"fp32-fallback"``).
+    ``attempts`` lists every bit width tried and ``transient_retries`` how
+    many in-place transient retries were consumed before the failure stuck.
     """
 
     name: str
@@ -120,6 +148,8 @@ class LayerFailure:
     message: str
     attempts: tuple[int, ...] = ()
     recovered_bits: int | None = None
+    resolution: str = ""
+    transient_retries: int = 0
 
     @property
     def quantized_anyway(self) -> bool:
@@ -127,7 +157,7 @@ class LayerFailure:
 
     @property
     def dropped(self) -> bool:
-        return self.action == "skip"
+        return self.action == "skip" or self.resolution == "skip"
 
 
 @dataclass
@@ -152,11 +182,16 @@ class QuantizationReport:
     failures: list[LayerFailure] = field(default_factory=list)
     on_error: str = "fail"
     metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot)
+    layer_timeout: float | None = None
+    interrupted: bool = False
+    pending: list[str] = field(default_factory=list)
+    resumed_layers: int = 0
 
     @property
     def ok(self) -> bool:
-        """True when every layer quantized cleanly at its requested width."""
-        return not self.failures
+        """True when every layer quantized cleanly at its requested width
+        and the run was neither interrupted nor left layers pending."""
+        return not self.failures and not self.interrupted and not self.pending
 
     @property
     def failed_layer_names(self) -> tuple[str, ...]:
@@ -211,6 +246,13 @@ class QuantizationReport:
             f"(effective parallelism {self.effective_parallelism:.2f}x) "
             f"CR={self.compression_ratio:.2f}x"
         )
+        if self.resumed_layers:
+            footer += f" resumed={self.resumed_layers}"
+        if self.interrupted:
+            footer += (
+                f"\nINTERRUPTED: {len(self.pending)} layer(s) pending: "
+                + ", ".join(self.pending)
+            )
         if self.failures:
             failure_rows = [
                 [
@@ -278,13 +320,78 @@ def resolve_on_error(on_error: str | None) -> str:
     return on_error
 
 
-@dataclass(frozen=True)
-class _JobOutcome:
-    """Internal: what one isolated job attempt produced."""
+def default_layer_timeout() -> float | None:
+    """Per-layer deadline from ``REPRO_LAYER_TIMEOUT`` (default: disabled)."""
+    raw = os.environ.get(LAYER_TIMEOUT_ENV)
+    if not raw:
+        return None
+    try:
+        seconds = float(raw)
+    except ValueError:
+        raise QuantizationError(
+            f"{LAYER_TIMEOUT_ENV} must be a number of seconds, got {raw!r}"
+        ) from None
+    return resolve_layer_timeout(seconds)
 
-    tensor: GoboQuantizedTensor | None
-    record: LayerRecord | None
-    failure: LayerFailure | None
+
+def resolve_layer_timeout(layer_timeout: float | None) -> float | None:
+    """Normalize a ``layer_timeout`` argument; None defers to the environment."""
+    if layer_timeout is None:
+        return default_layer_timeout()
+    if isinstance(layer_timeout, bool) or not isinstance(layer_timeout, (int, float)):
+        raise QuantizationError(
+            f"layer_timeout must be a number of seconds or None, got {layer_timeout!r}"
+        )
+    if not layer_timeout > 0:
+        raise QuantizationError(
+            f"layer_timeout must be > 0 (omit it to disable), got {layer_timeout}"
+        )
+    return float(layer_timeout)
+
+
+def default_transient_retries() -> int:
+    """Transient retry budget from ``REPRO_TRANSIENT_RETRIES`` (default 0)."""
+    raw = os.environ.get(TRANSIENT_RETRIES_ENV)
+    if not raw:
+        return 0
+    try:
+        retries = int(raw)
+    except ValueError:
+        raise QuantizationError(
+            f"{TRANSIENT_RETRIES_ENV} must be an integer, got {raw!r}"
+        ) from None
+    return resolve_transient_retries(retries)
+
+
+def resolve_transient_retries(transient_retries: int | None) -> int:
+    """Normalize a ``transient_retries`` argument; None defers to the environment."""
+    if transient_retries is None:
+        return default_transient_retries()
+    if isinstance(transient_retries, bool) or not isinstance(transient_retries, int):
+        raise QuantizationError(
+            f"transient_retries must be an int or None, got {transient_retries!r}"
+        )
+    if transient_retries < 0:
+        raise QuantizationError(
+            f"transient_retries must be >= 0, got {transient_retries}"
+        )
+    return transient_retries
+
+
+@dataclass(frozen=True)
+class LayerOutcome:
+    """The final disposition of one job: at most one of the payloads is set.
+
+    Passed to the ``on_layer_complete`` hook the moment the job finishes
+    (and collected internally).  ``cancelled`` marks a job that was never
+    started because the run was interrupted.
+    """
+
+    job: LayerJob
+    tensor: GoboQuantizedTensor | None = None
+    record: LayerRecord | None = None
+    failure: LayerFailure | None = None
+    cancelled: bool = False
 
 
 def quantize_layers(
@@ -297,6 +404,11 @@ def quantize_layers(
     on_error: str | None = "fail",
     validation: str = "strict",
     fault_injector: FaultInjector | None = None,
+    layer_timeout: float | None = None,
+    transient_retries: int | None = None,
+    transient_backoff: float = DEFAULT_BACKOFF_BASE,
+    cancel: "threading.Event | None" = None,
+    on_layer_complete: "Callable[[LayerOutcome], None] | None" = None,
 ) -> tuple[dict[str, GoboQuantizedTensor], dict[str, int], QuantizationReport]:
     """Quantize every job's tensor, optionally fanning out over threads.
 
@@ -306,6 +418,15 @@ def quantize_layers(
     and a degradation policy applies (see module docstring for ``on_error``
     and :mod:`repro.core.validate` for ``validation``).  ``fault_injector``
     is the deterministic test hook used by :mod:`repro.testing.faults`.
+
+    Supervision knobs (see module docstring): ``layer_timeout`` arms a
+    watchdog deadline per attempt, ``transient_retries`` retries transient
+    errors in place with ``transient_backoff``-based exponential backoff,
+    ``cancel`` drains the run leaving unstarted jobs in ``report.pending``,
+    and ``on_layer_complete`` receives each job's final
+    :class:`LayerOutcome` as it finishes (calls are serialized; an exception
+    from the hook aborts the run — durable storage failing is fatal).
+
     Returns ``(quantized, iterations, report)``; failed layers appear in
     ``report.failures`` instead of ``quantized``.
     """
@@ -315,6 +436,14 @@ def quantize_layers(
         raise QuantizationError(f"state dict is missing tensors: {missing}")
     workers = resolve_workers(workers)
     on_error = resolve_on_error(on_error)
+    layer_timeout = resolve_layer_timeout(layer_timeout)
+    transient_retries = resolve_transient_retries(transient_retries)
+    watchdog = (
+        Watchdog(poll_interval=min(0.02, layer_timeout / 5))
+        if layer_timeout is not None
+        else None
+    )
+    hook_lock = threading.Lock()
 
     def attempt(index: int, job: LayerJob, bits: int) -> tuple[GoboQuantizedTensor, LayerRecord]:
         with obs.span("engine.layer", layer=job.name, bits=bits) as layer_span:
@@ -352,18 +481,56 @@ def quantize_layers(
         )
         return tensor, record
 
-    def run(indexed_job: tuple[int, LayerJob]) -> _JobOutcome:
+    def attempt_supervised(
+        index: int, job: LayerJob, bits: int
+    ) -> tuple[GoboQuantizedTensor, LayerRecord]:
+        """One attempt under a fresh watchdog deadline (when configured)."""
+        if layer_timeout is None:
+            return attempt(index, job, bits)
+        deadline = Deadline(layer_timeout, label=job.name)
+        watchdog.register(deadline)
+        try:
+            with deadline_scope(deadline):
+                return attempt(index, job, bits)
+        finally:
+            watchdog.unregister(deadline)
+
+    def attempt_resilient(
+        index: int, job: LayerJob, bits: int, retries_used: list[int]
+    ) -> tuple[GoboQuantizedTensor, LayerRecord]:
+        """Attempt with in-place transient retries before any policy fires."""
+        retry = 0
+        while True:
+            try:
+                return attempt_supervised(index, job, bits)
+            except Exception as exc:  # noqa: BLE001 — classified below
+                if retry >= transient_retries or not is_transient(exc):
+                    raise
+                obs.counter(
+                    "engine.retry",
+                    layer=job.name,
+                    bits=bits,
+                    attempt=retry + 1,
+                    error=type(exc).__name__,
+                )
+                time.sleep(
+                    backoff_delay(retry, base=transient_backoff, key=f"{job.name}:{bits}")
+                )
+                retries_used[0] += 1
+                retry += 1
+
+    def run(indexed_job: tuple[int, LayerJob]) -> LayerOutcome:
         index, job = indexed_job
         attempts = [job.bits]
+        retries_used = [0]
         try:
-            tensor, record = attempt(index, job, job.bits)
-            return _JobOutcome(tensor=tensor, record=record, failure=None)
+            tensor, record = attempt_resilient(index, job, job.bits, retries_used)
+            return LayerOutcome(job=job, tensor=tensor, record=record)
         except LayerSkipped as exc:
             # The skip validation policy always ships the layer FP32,
             # independent of on_error.
-            return _JobOutcome(
-                tensor=None,
-                record=None,
+            return LayerOutcome(
+                job=job,
                 failure=LayerFailure(
                     name=job.name,
                     bits=job.bits,
@@ -371,6 +538,28 @@ def quantize_layers(
                     error_type=type(exc).__name__,
                     message=str(exc),
                     attempts=tuple(attempts),
+                    transient_retries=retries_used[0],
+                ),
+            )
+        except LayerTimeoutError as exc:
+            # The layer consumed its whole deadline: resolve it through the
+            # on_error policy, but never retry it (in place or wider) — that
+            # would stall the run all over again.
+            obs.counter("engine.timeout", layer=job.name, bits=job.bits)
+            if on_error == "fail":
+                raise
+            resolution = "skip" if on_error == "skip" else "fp32-fallback"
+            return LayerOutcome(
+                job=job,
+                failure=LayerFailure(
+                    name=job.name,
+                    bits=job.bits,
+                    action="timeout",
+                    error_type=type(exc).__name__,
+                    message=str(exc),
+                    attempts=tuple(attempts),
+                    resolution=resolution,
+                    transient_retries=retries_used[0],
                 ),
             )
         except Exception as exc:  # noqa: BLE001 — isolation is the point
@@ -380,10 +569,16 @@ def quantize_layers(
                 for retry_bits in range(job.bits + 1, MAX_RETRY_BITS + 1):
                     attempts.append(retry_bits)
                     try:
-                        tensor, record = attempt(index, job, retry_bits)
+                        tensor, record = attempt_resilient(
+                            index, job, retry_bits, retries_used
+                        )
+                    except LayerTimeoutError:
+                        obs.counter("engine.timeout", layer=job.name, bits=retry_bits)
+                        break  # widening further would time out again
                     except Exception:  # noqa: BLE001 — keep widening
                         continue
-                    return _JobOutcome(
+                    return LayerOutcome(
+                        job=job,
                         tensor=tensor,
                         record=record,
                         failure=LayerFailure(
@@ -394,14 +589,14 @@ def quantize_layers(
                             message=str(exc),
                             attempts=tuple(attempts),
                             recovered_bits=retry_bits,
+                            transient_retries=retries_used[0],
                         ),
                     )
                 action = "fp32-fallback"  # every retry failed
             else:
                 action = on_error
-            return _JobOutcome(
-                tensor=None,
-                record=None,
+            return LayerOutcome(
+                job=job,
                 failure=LayerFailure(
                     name=job.name,
                     bits=job.bits,
@@ -409,6 +604,7 @@ def quantize_layers(
                     error_type=type(exc).__name__,
                     message=str(exc),
                     attempts=tuple(attempts),
+                    transient_retries=retries_used[0],
                 ),
             )
 
@@ -419,35 +615,62 @@ def quantize_layers(
         # counts; determinism comparisons exclude it by name (DESIGN §5c).
         obs.gauge("engine.workers", workers)
         obs.gauge("engine.queue.jobs", len(jobs))
-        with obs.span("engine.run") as engine_span:
-            # Worker threads re-attach the submitting thread's span context,
-            # so layer spans nest under engine.run at any worker count.
-            context = obs.capture_context()
+        if watchdog is not None:
+            watchdog.start()
+        try:
+            with obs.span("engine.run") as engine_span:
+                # Worker threads re-attach the submitting thread's span
+                # context, so layer spans nest under engine.run at any
+                # worker count.
+                context = obs.capture_context()
 
-            def run_in_context(item: tuple[int, LayerJob]) -> _JobOutcome:
-                with obs.use_context(context):
-                    return run(item)
+                def run_in_context(item: tuple[int, LayerJob]) -> LayerOutcome:
+                    with obs.use_context(context):
+                        if cancel is not None and cancel.is_set():
+                            return LayerOutcome(job=item[1], cancelled=True)
+                        outcome = run(item)
+                        if on_layer_complete is not None:
+                            with hook_lock:
+                                on_layer_complete(outcome)
+                        return outcome
 
-            if workers == 1 or len(jobs) <= 1:
-                outcomes = [run_in_context(item) for item in indexed]
-            else:
-                with ThreadPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
-                    outcomes = list(pool.map(run_in_context, indexed))
+                if workers == 1 or len(jobs) <= 1:
+                    outcomes = [run_in_context(item) for item in indexed]
+                else:
+                    with ThreadPoolExecutor(
+                        max_workers=min(workers, len(jobs))
+                    ) as pool:
+                        outcomes = list(pool.map(run_in_context, indexed))
+        finally:
+            if watchdog is not None:
+                watchdog.stop()
 
         quantized: dict[str, GoboQuantizedTensor] = {}
         iterations: dict[str, int] = {}
         report = QuantizationReport(
-            workers=workers, wall_seconds=engine_span.duration, on_error=on_error
+            workers=workers,
+            wall_seconds=engine_span.duration,
+            on_error=on_error,
+            layer_timeout=layer_timeout,
         )
         for outcome in outcomes:
+            if outcome.cancelled:
+                report.pending.append(outcome.job.name)
+                continue
             if outcome.record is not None and outcome.tensor is not None:
                 quantized[outcome.record.name] = outcome.tensor
                 iterations[outcome.record.name] = outcome.record.iterations
                 report.layers.append(outcome.record)
             if outcome.failure is not None:
                 report.failures.append(outcome.failure)
+        # A cancellation that arrived after every job had already started
+        # drained to a complete run; only unstarted work marks the run
+        # interrupted.
+        report.interrupted = bool(report.pending)
         obs.counter("engine.layers.quantized", len(report.layers))
         if report.failures:
             obs.counter("engine.layers.degraded", len(report.failures))
+        if report.pending:
+            obs.counter("engine.layers.cancelled", len(report.pending))
     report.metrics = scoped.snapshot()
     return quantized, iterations, report

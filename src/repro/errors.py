@@ -46,6 +46,26 @@ class LayerSkipped(QuantizationError):
     """
 
 
+class LayerTimeoutError(QuantizationError):
+    """A layer blew its per-layer deadline (watchdog timeout).
+
+    Raised cooperatively by :func:`repro.jobs.watchdog.checkpoint` inside
+    the clustering iteration loop once the layer's
+    :class:`~repro.jobs.watchdog.Deadline` expires.  The layer-parallel
+    engine converts it into a :class:`~repro.core.parallel.LayerFailure`
+    with ``action="timeout"`` under every non-``fail`` ``on_error`` policy.
+    """
+
+
+class JobStateError(ReproError):
+    """A durable job directory is unusable for the requested run.
+
+    Raised when a journal exists but ``resume`` was not requested, when the
+    journaled job fingerprint does not match the requested parameters, or
+    when the journal is too corrupt to recover.
+    """
+
+
 class SerializationError(ReproError):
     """A stored model archive is malformed."""
 

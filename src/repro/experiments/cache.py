@@ -89,8 +89,11 @@ def load_state(key: str) -> tuple[dict[str, np.ndarray], dict[str, float]] | Non
     if not path.exists():
         obs.counter("cache.miss")
         return None
+    # `cache.hit` / `cache.bytes_read` count *successful* loads only: a
+    # checkpoint that fails to parse contributes `cache.corrupt_evict` and
+    # nothing else, so hit-rate and read-volume metrics never include bytes
+    # that were thrown away.
     try:
-        size = path.stat().st_size
         with np.load(path) as archive:
             state = {
                 name[len("param::"):]: archive[name]
@@ -102,12 +105,22 @@ def load_state(key: str) -> tuple[dict[str, np.ndarray], dict[str, float]] | Non
                 for name in archive.files
                 if name.startswith("score::")
             }
-    except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile) as exc:
-        _discard_corrupt(path, f"{type(exc).__name__}: {exc}")
-        obs.counter("cache.corrupt_evict")
-        return None
-    if not state:
-        _discard_corrupt(path, "archive holds no parameters")
+        if not state:
+            raise SerializationError("archive holds no parameters")
+        size = path.stat().st_size
+    except (
+        OSError,
+        ValueError,
+        KeyError,
+        TypeError,
+        EOFError,
+        zipfile.BadZipFile,
+        SerializationError,
+    ) as exc:
+        reason = f"{type(exc).__name__}: {exc}" if str(exc) else type(exc).__name__
+        if isinstance(exc, SerializationError):
+            reason = str(exc)
+        _discard_corrupt(path, reason)
         obs.counter("cache.corrupt_evict")
         return None
     obs.counter("cache.hit")

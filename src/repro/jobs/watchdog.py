@@ -1,0 +1,183 @@
+"""Per-layer deadlines: cooperative cancellation plus a monitor thread.
+
+Python threads cannot be killed, so a hung layer cannot be interrupted from
+the outside; what *can* be done — and what every mature thread-based job
+system does — is cooperative cancellation with an external monitor:
+
+* A :class:`Deadline` is armed around each layer attempt.  Hot loops call
+  :func:`checkpoint` (the clustering iteration loop does, once per
+  iteration) which raises :class:`~repro.errors.LayerTimeoutError` as soon
+  as the deadline has passed.  The deadline travels thread-locally via
+  :func:`deadline_scope`, so deep callees (and fault injectors) can consult
+  :func:`current_deadline` without any parameter threading.
+* A :class:`Watchdog` monitor thread polls every armed deadline and flags
+  the expired ones.  Flagging makes later ``expired()`` checks a plain
+  attribute read, lets cooperative sleepers (e.g.
+  :class:`repro.testing.faults.HangOnLayer`) wake promptly, and records the
+  stall for observability even before the hung layer reaches its next
+  checkpoint.
+
+The guarantee is therefore *bounded grace*, not preemption: a layer that
+times out is surfaced within ``layer_timeout`` plus the time to its next
+checkpoint.  Code that never reaches a checkpoint (a true C-level hang)
+cannot be interrupted — the watchdog still flags it, so the stall is loud
+in the instrumentation.  See DESIGN.md §5d for the semantics.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.errors import LayerTimeoutError, QuantizationError
+
+_local = threading.local()
+
+#: Default watchdog poll interval ceiling (seconds).
+DEFAULT_POLL_INTERVAL = 0.02
+
+
+class Deadline:
+    """A monotonic-clock deadline, expirable early by the watchdog.
+
+    ``expired()`` is true once ``seconds`` have elapsed since construction
+    *or* the watchdog flagged the deadline; ``check()`` converts expiry into
+    a :class:`~repro.errors.LayerTimeoutError`.
+    """
+
+    __slots__ = ("seconds", "label", "_expires_at", "_flagged")
+
+    def __init__(self, seconds: float, label: str = ""):
+        if not seconds > 0:
+            raise QuantizationError(f"deadline seconds must be > 0, got {seconds!r}")
+        self.seconds = float(seconds)
+        self.label = label
+        self._expires_at = time.monotonic() + self.seconds
+        self._flagged = False
+
+    def remaining(self) -> float:
+        """Seconds until expiry (negative once past it)."""
+        return self._expires_at - time.monotonic()
+
+    @property
+    def flagged(self) -> bool:
+        """True once the watchdog marked this deadline expired."""
+        return self._flagged
+
+    def expire_now(self) -> None:
+        """Mark the deadline expired immediately (watchdog hook)."""
+        self._flagged = True
+
+    def expired(self) -> bool:
+        return self._flagged or self.remaining() <= 0
+
+    def check(self) -> None:
+        """Raise :class:`LayerTimeoutError` if the deadline has passed."""
+        if self.expired():
+            what = f" for {self.label!r}" if self.label else ""
+            raise LayerTimeoutError(
+                f"deadline of {self.seconds:g}s{what} exceeded"
+            )
+
+
+def current_deadline() -> Deadline | None:
+    """The deadline armed on this thread, or None."""
+    return getattr(_local, "deadline", None)
+
+
+@contextmanager
+def deadline_scope(deadline: Deadline | None) -> Iterator[Deadline | None]:
+    """Arm ``deadline`` as this thread's ambient deadline for the block.
+
+    ``None`` is accepted (and is a no-op) so callers can scope
+    unconditionally.  Scopes nest: the innermost deadline wins, and the
+    previous one is restored on exit.
+    """
+    previous = getattr(_local, "deadline", None)
+    _local.deadline = deadline if deadline is not None else previous
+    try:
+        yield deadline
+    finally:
+        _local.deadline = previous
+
+
+def checkpoint() -> None:
+    """Cooperative cancellation point: raise if the ambient deadline passed.
+
+    A no-op (one thread-local read) when no deadline is armed, so hot loops
+    — the clustering iteration loop calls this once per iteration — pay
+    nothing outside supervised runs.
+    """
+    deadline = getattr(_local, "deadline", None)
+    if deadline is not None:
+        deadline.check()
+
+
+class Watchdog:
+    """Monitor thread that flags expired deadlines.
+
+    Usage::
+
+        with Watchdog(poll_interval=0.02) as watchdog:
+            deadline = Deadline(5.0, label=layer_name)
+            watchdog.register(deadline)
+            try:
+                with deadline_scope(deadline):
+                    ...layer work, checkpoints raise on expiry...
+            finally:
+                watchdog.unregister(deadline)
+
+    The thread is a daemon and wakes every ``poll_interval`` seconds; it
+    never interrupts anything itself — it only calls
+    :meth:`Deadline.expire_now` so cooperative checks and sleepers observe
+    the expiry promptly, and records the stalled labels in ``stalled``.
+    """
+
+    def __init__(self, poll_interval: float = DEFAULT_POLL_INTERVAL):
+        self.poll_interval = max(float(poll_interval), 0.001)
+        self.stalled: list[str] = []
+        self._deadlines: dict[int, Deadline] = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def register(self, deadline: Deadline) -> Deadline:
+        with self._lock:
+            self._deadlines[id(deadline)] = deadline
+        return deadline
+
+    def unregister(self, deadline: Deadline) -> None:
+        with self._lock:
+            self._deadlines.pop(id(deadline), None)
+
+    def start(self) -> "Watchdog":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._run, name="repro-watchdog", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "Watchdog":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.poll_interval):
+            with self._lock:
+                armed = list(self._deadlines.values())
+            for deadline in armed:
+                if not deadline.flagged and deadline.expired():
+                    deadline.expire_now()
+                    with self._lock:
+                        self.stalled.append(deadline.label)

@@ -15,6 +15,26 @@ prove every ``on_error``/``validation`` policy path end-to-end:
   of one layer's weights, exercising the validation layer rather than the
   exception path.
 
+Durability-oriented injectors exercise the job subsystem end-to-end:
+
+* :class:`HangOnLayer` — stall the targeted layer (cooperatively: it polls
+  :func:`repro.jobs.watchdog.checkpoint`), proving the per-layer watchdog
+  converts a hang into a ``timeout`` failure.
+* :class:`SlowLayer` — delay every (or one) layer by a fixed number of
+  seconds; combined with a tight ``layer_timeout`` this also times out, and
+  alone it widens the window for signal/kill tests.
+* :class:`TransientIOFault` — raise :class:`InjectedIOError` (an ``OSError``)
+  the first N attempts of a layer, then succeed: the shape of a flaky
+  filesystem or NFS blip the transient-retry loop absorbs in place.
+* :class:`CrashOnCall` / :func:`crash_process` — SIGKILL the process on the
+  Nth injector call: the crash the journal + ``--resume`` path recovers from.
+
+Because kill-and-resume tests need faults inside a *subprocess*, injectors
+can be described as text specs (``"crash:3"``, ``"hang:layer2"``,
+``"slow:0.2"``, ``"transient-io:layer1:2"``) parsed by
+:func:`injector_from_spec`; the CLI builds one from the ``REPRO_FAULTS``
+environment variable via :func:`injector_from_env`.
+
 Storage-level injectors simulate the two ways an archive dies on disk:
 
 * :func:`truncate_file` — a crash mid-write (the container is torn),
@@ -27,13 +47,20 @@ from any harness.
 
 from __future__ import annotations
 
+import os
+import signal
 import threading
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
 
 from repro.core.parallel import LayerJob
+from repro.jobs.watchdog import checkpoint
+
+#: Environment variable the CLI reads fault specs from (kill/resume tests).
+FAULTS_ENV = "REPRO_FAULTS"
 
 
 class InjectedFault(RuntimeError):
@@ -43,6 +70,12 @@ class InjectedFault(RuntimeError):
     :class:`~repro.core.parallel.LayerFailure` came from the harness and
     not from a genuine defect.
     """
+
+
+class InjectedIOError(OSError):
+    """An injected *transient* fault: an ``OSError`` subclass, so the
+    engine's transient-retry classifier (:func:`repro.jobs.retry.is_transient`)
+    treats it exactly like a real I/O blip."""
 
 
 @dataclass
@@ -132,6 +165,195 @@ class PoisonTensor:
         if isinstance(self.layer, str):
             return job.name == self.layer
         return index == self.layer
+
+
+@dataclass
+class HangOnLayer:
+    """Stall the targeted layer until the watchdog deadline fires.
+
+    The stall is *cooperative*: it spins on
+    :func:`repro.jobs.watchdog.checkpoint`, which raises
+    :class:`~repro.errors.LayerTimeoutError` the moment the engine's
+    per-layer deadline expires — the same mechanism that catches a hang in
+    the clustering loop.  ``max_seconds`` is a harness safety net: with no
+    deadline armed (no ``layer_timeout``), the hang gives up after that long
+    and raises :class:`InjectedFault` instead of wedging the test suite.
+    """
+
+    layer: int | str
+    max_seconds: float = 30.0
+
+    def __call__(self, index: int, job: LayerJob, weights: np.ndarray):
+        if not _matches_layer(self.layer, index, job):
+            return None
+        give_up = time.monotonic() + self.max_seconds
+        while time.monotonic() < give_up:
+            checkpoint()  # raises LayerTimeoutError when the deadline expires
+            time.sleep(0.002)
+        raise InjectedFault(
+            f"HangOnLayer gave up after {self.max_seconds}s without a deadline "
+            f"(layer {job.name!r}): was layer_timeout set?"
+        )
+
+
+@dataclass
+class SlowLayer:
+    """Delay layers by ``seconds`` (every layer, or just the targeted one).
+
+    Sleeps in small checkpointed slices, so a ``layer_timeout`` shorter than
+    the delay still converts it into a timeout failure promptly.
+    """
+
+    seconds: float
+    layer: int | str | None = None
+
+    def __call__(self, index: int, job: LayerJob, weights: np.ndarray):
+        if self.layer is not None and not _matches_layer(self.layer, index, job):
+            return None
+        deadline = time.monotonic() + self.seconds
+        while time.monotonic() < deadline:
+            checkpoint()
+            time.sleep(min(0.005, self.seconds))
+        return None
+
+
+@dataclass
+class TransientIOFault:
+    """Raise :class:`InjectedIOError` the first ``times`` attempts of a layer.
+
+    Counted per layer, thread-safely, across retries: attempt 1..``times``
+    raise, attempt ``times+1`` succeeds.  With ``transient_retries >= times``
+    the engine absorbs the fault in place and the run's output is
+    bit-identical to a fault-free run; with a smaller budget the error
+    escalates to the ``on_error`` policy like any other exception.
+    """
+
+    layer: int | str
+    times: int = 1
+    _attempts: dict[str, int] = field(default_factory=dict, repr=False)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def __call__(self, index: int, job: LayerJob, weights: np.ndarray):
+        if not _matches_layer(self.layer, index, job):
+            return None
+        with self._lock:
+            attempt = self._attempts.get(job.name, 0) + 1
+            self._attempts[job.name] = attempt
+        if attempt <= self.times:
+            raise InjectedIOError(
+                f"injected transient I/O fault (layer {job.name!r}, "
+                f"attempt {attempt}/{self.times})"
+            )
+        return None
+
+
+def crash_process() -> None:
+    """SIGKILL the current process: no cleanup, no atexit, no flushing.
+
+    The honest simulation of OOM-kills and power loss — everything not
+    already fsynced is lost, which is exactly what the journal's
+    append-then-fsync discipline is designed to survive.
+    """
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+@dataclass
+class CrashOnCall:
+    """SIGKILL the process on the ``nth`` injector call (1-based).
+
+    Counted thread-safely across workers.  Used (via ``REPRO_FAULTS=crash:N``)
+    by the kill-and-resume tests: the subprocess dies mid-run, the journal
+    keeps every layer that finished, and ``--resume`` completes the rest.
+    """
+
+    nth: int = 1
+    _calls: int = field(default=0, repr=False)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def __call__(self, index: int, job: LayerJob, weights: np.ndarray):
+        with self._lock:
+            self._calls += 1
+            hit = self._calls == self.nth
+        if hit:
+            crash_process()
+        return None
+
+
+def _matches_layer(selector: int | str, index: int, job: LayerJob) -> bool:
+    if isinstance(selector, str):
+        return job.name == selector
+    return index == selector
+
+
+def _parse_layer(token: str) -> int | str:
+    """Layer selector from a spec token: an int job index or a layer name."""
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def injector_from_spec(spec: str):
+    """Build a fault injector from a comma-separated text spec.
+
+    Forms (``LAYER`` is a job index or a layer name)::
+
+        raise:LAYER               RaiseOnLayer
+        hang:LAYER                HangOnLayer
+        slow:SECONDS[:LAYER]      SlowLayer
+        transient-io:LAYER[:N]    TransientIOFault (default N=1)
+        crash:NTH                 CrashOnCall
+        poison:LAYER[:MODE]       PoisonTensor
+
+    Returns None for an empty spec.  Raises ``ValueError`` on anything it
+    cannot parse — a silently ignored fault spec would make a kill test
+    pass vacuously.
+    """
+    parts = [p.strip() for p in spec.split(",") if p.strip()]
+    injectors = []
+    for part in parts:
+        kind, _, rest = part.partition(":")
+        args = rest.split(":") if rest else []
+        try:
+            if kind == "raise":
+                (layer,) = args
+                injectors.append(RaiseOnLayer(_parse_layer(layer)))
+            elif kind == "hang":
+                (layer,) = args
+                injectors.append(HangOnLayer(_parse_layer(layer)))
+            elif kind == "slow":
+                seconds = float(args[0])
+                layer = _parse_layer(args[1]) if len(args) > 1 else None
+                injectors.append(SlowLayer(seconds, layer=layer))
+            elif kind == "transient-io":
+                layer = _parse_layer(args[0])
+                times = int(args[1]) if len(args) > 1 else 1
+                injectors.append(TransientIOFault(layer, times=times))
+            elif kind == "crash":
+                (nth,) = args
+                injectors.append(CrashOnCall(int(nth)))
+            elif kind == "poison":
+                layer = _parse_layer(args[0])
+                mode = args[1] if len(args) > 1 else "nan"
+                injectors.append(PoisonTensor(layer, mode=mode))
+            else:
+                raise ValueError(f"unknown fault kind {kind!r}")
+        except (IndexError, ValueError) as exc:
+            raise ValueError(f"bad fault spec {part!r}: {exc}") from exc
+    if not injectors:
+        return None
+    return injectors[0] if len(injectors) == 1 else compose_injectors(*injectors)
+
+
+def injector_from_env(env: str = FAULTS_ENV):
+    """Injector described by the ``REPRO_FAULTS`` environment variable.
+
+    Returns None when unset/empty — the universal production case; the
+    variable exists so kill-and-resume tests can plant faults inside a CLI
+    subprocess without test-only flags.
+    """
+    spec = os.environ.get(env, "")
+    return injector_from_spec(spec) if spec.strip() else None
 
 
 def compose_injectors(*injectors):

@@ -68,6 +68,26 @@ def write_npz(handle: IO[bytes], payload: Mapping[str, np.ndarray]) -> None:
                 )
 
 
+def durable_append(path: str | Path, data: bytes) -> int:
+    """Append ``data`` to ``path`` and flush it to stable storage.
+
+    The journal's write primitive: open in append mode, write, fsync.  An
+    append is not atomic the way a rename is — a crash can still leave a
+    torn final record — but because each journal record carries its own
+    checksum, a torn tail is detected and discarded on read; everything
+    fsynced before it is durable.  Returns the number of bytes appended.
+    """
+    path = Path(path)
+    created = not path.exists()
+    with open(path, "ab") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    if created:
+        fsync_directory(path.parent)
+    return len(data)
+
+
 def atomic_savez(path: str | Path, payload: Mapping[str, np.ndarray]) -> int:
     """Atomically write ``payload`` as an npz archive at ``path``.
 

@@ -255,3 +255,70 @@ class TestEndToEndModel:
         )
         assert quantized.report.on_error == "fp32-fallback"
         assert len(quantized.report.failures) == 1
+
+
+class TestFaultSpecs:
+    """Text fault specs (REPRO_FAULTS) build the right injectors."""
+
+    def test_empty_spec_is_none(self):
+        from repro.testing.faults import injector_from_env, injector_from_spec
+
+        assert injector_from_spec("") is None
+        assert injector_from_spec("  ,  ") is None
+        assert injector_from_env("REPRO_FAULTS_UNSET_FOR_TEST") is None
+
+    def test_single_specs(self):
+        from repro.testing.faults import (
+            CrashOnCall,
+            HangOnLayer,
+            PoisonTensor,
+            RaiseOnLayer,
+            SlowLayer,
+            TransientIOFault,
+            injector_from_spec,
+        )
+
+        assert isinstance(injector_from_spec("raise:layer0"), RaiseOnLayer)
+        assert injector_from_spec("raise:2").layer == 2
+        hang = injector_from_spec("hang:emb.word")
+        assert isinstance(hang, HangOnLayer) and hang.layer == "emb.word"
+        slow = injector_from_spec("slow:0.25")
+        assert isinstance(slow, SlowLayer)
+        assert slow.seconds == 0.25 and slow.layer is None
+        assert injector_from_spec("slow:0.1:3").layer == 3
+        tio = injector_from_spec("transient-io:layer1:2")
+        assert isinstance(tio, TransientIOFault)
+        assert tio.layer == "layer1" and tio.times == 2
+        assert injector_from_spec("transient-io:0").times == 1
+        crash = injector_from_spec("crash:4")
+        assert isinstance(crash, CrashOnCall) and crash.nth == 4
+        poison = injector_from_spec("poison:layer2:inf")
+        assert isinstance(poison, PoisonTensor) and poison.mode == "inf"
+
+    def test_composed_spec(self):
+        import numpy as np
+
+        from repro.core.parallel import LayerJob
+        from repro.testing.faults import InjectedIOError, injector_from_spec
+
+        injector = injector_from_spec("transient-io:a:1, poison:b:constant")
+        weights = np.ones((4, 4))
+        with pytest.raises(InjectedIOError):
+            injector(0, LayerJob("a", 3), weights)
+        poisoned = injector(1, LayerJob("b", 3), weights)
+        assert poisoned is not None and np.all(poisoned == 0.5)
+        assert injector(2, LayerJob("c", 3), weights) is None
+
+    def test_bad_specs_rejected(self):
+        from repro.testing.faults import injector_from_spec
+
+        for bad in ("explode:1", "crash", "crash:soon", "slow", "hang"):
+            with pytest.raises(ValueError):
+                injector_from_spec(bad)
+
+    def test_env_spec_errors_surface(self, monkeypatch):
+        from repro.testing.faults import FAULTS_ENV, injector_from_env
+
+        monkeypatch.setenv(FAULTS_ENV, "bogus:x")
+        with pytest.raises(ValueError):
+            injector_from_env()

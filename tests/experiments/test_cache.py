@@ -107,3 +107,47 @@ class TestCacheObservability:
                 assert cache.load_state("bad") is None
         assert scoped.snapshot().counter("cache.corrupt_evict") == 1
         assert scoped.snapshot().counter("cache.hit") == 0
+
+
+class TestCacheMetricSkew:
+    """cache.hit / cache.bytes_read must count successful loads only."""
+
+    def test_corrupt_load_contributes_no_read_metrics(self):
+        from repro import obs
+
+        cache.checkpoint_path("skewed").write_bytes(b"\x00" * 512)
+        with obs.scope() as scoped:
+            with pytest.warns(cache.CacheCorruptionWarning):
+                assert cache.load_state("skewed") is None
+        snapshot = scoped.snapshot()
+        assert snapshot.counter("cache.corrupt_evict") == 1
+        assert snapshot.counter("cache.hit") == 0
+        assert snapshot.counter("cache.bytes_read") == 0
+
+    def test_empty_archive_counts_as_corrupt_not_hit(self, rng):
+        from repro import obs
+
+        # An archive with no param:: entries parses but is useless.
+        cache.save_state("scores-only", {"x": rng.normal(size=4)})
+        import numpy as np
+
+        from repro.utils.atomic import atomic_savez
+
+        atomic_savez(cache.checkpoint_path("scores-only"),
+                     {"score::acc": np.float64(0.5)})
+        with obs.scope() as scoped:
+            with pytest.warns(cache.CacheCorruptionWarning):
+                assert cache.load_state("scores-only") is None
+        snapshot = scoped.snapshot()
+        assert snapshot.counter("cache.hit") == 0
+        assert snapshot.counter("cache.bytes_read") == 0
+        assert snapshot.counter("cache.corrupt_evict") == 1
+
+    def test_bytes_read_matches_file_size_on_hit(self, rng):
+        from repro import obs
+
+        cache.save_state("sized", {"w": rng.normal(size=(8, 8))})
+        size = cache.checkpoint_path("sized").stat().st_size
+        with obs.scope() as scoped:
+            assert cache.load_state("sized") is not None
+        assert scoped.snapshot().counter("cache.bytes_read") == size

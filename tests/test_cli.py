@@ -243,3 +243,130 @@ class TestQuantizeDegraded:
         ]) == 0
         err = capsys.readouterr().err
         assert "WARNING" in err and "fp32-fallback" in err
+
+
+class TestDurableJobFlags:
+    def test_quantize_job_flags_parse(self):
+        args = build_parser().parse_args([
+            "quantize", "--job-dir", "jobs/x", "--resume",
+            "--layer-timeout", "2.5", "--transient-retries", "3",
+        ])
+        assert args.job_dir == "jobs/x"
+        assert args.resume is True
+        assert args.layer_timeout == 2.5
+        assert args.transient_retries == 3
+
+    def test_quantize_job_flag_defaults(self):
+        args = build_parser().parse_args(["quantize"])
+        assert args.job_dir is None and args.resume is False
+        assert args.layer_timeout is None and args.transient_retries is None
+
+    def test_resume_requires_job_dir(self, capsys):
+        assert main(["quantize", "--resume"]) == 2
+        assert "--job-dir" in capsys.readouterr().err
+
+    def test_jobs_status_parses(self):
+        args = build_parser().parse_args(["jobs", "status", "jobs/x"])
+        assert args.command == "jobs" and args.job_dir == "jobs/x"
+
+    def test_jobs_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["jobs"])
+
+
+class TestDurableJobCommands:
+    def test_quantize_durable_then_status_then_resume(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        from repro.testing.faults import InjectedFault
+
+        clean = tmp_path / "clean.npz"
+        assert main([
+            "quantize", "--embedding-bits", "none", "--out", str(clean),
+        ]) == 0
+        job_dir = tmp_path / "job"
+        # Abort the durable run partway via an injected fault.
+        monkeypatch.setenv("REPRO_FAULTS", "raise:5")
+        with pytest.raises(InjectedFault):
+            main([
+                "quantize", "--embedding-bits", "none",
+                "--job-dir", str(job_dir), "--out", str(tmp_path / "x.npz"),
+            ])
+        monkeypatch.delenv("REPRO_FAULTS")
+        capsys.readouterr()
+        assert main(["jobs", "status", str(job_dir)]) == 1  # incomplete
+        out = capsys.readouterr().out
+        assert "pending" in out and "incomplete" in out
+        resumed = tmp_path / "resumed.npz"
+        assert main([
+            "quantize", "--embedding-bits", "none", "--job-dir", str(job_dir),
+            "--resume", "--workers", "2", "--out", str(resumed),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "resumed:" in out
+        assert resumed.read_bytes() == clean.read_bytes()
+        assert main(["jobs", "status", str(job_dir)]) == 0
+        assert "complete" in capsys.readouterr().out
+
+    def test_existing_job_dir_without_resume_is_an_error(self, capsys, tmp_path):
+        job_dir = tmp_path / "job"
+        assert main([
+            "quantize", "--embedding-bits", "none", "--job-dir", str(job_dir),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "quantize", "--embedding-bits", "none", "--job-dir", str(job_dir),
+        ]) == 2
+        assert "resume" in capsys.readouterr().err
+
+    def test_jobs_status_on_missing_dir(self, capsys, tmp_path):
+        assert main(["jobs", "status", str(tmp_path / "nope")]) == 2
+        assert capsys.readouterr().err
+
+    def test_bad_faults_spec_is_a_clean_error(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "explode:now")
+        assert main(["quantize", "--embedding-bits", "none"]) == 2
+        assert "fault" in capsys.readouterr().err
+
+
+class TestVerifyArchiveMultiple:
+    @pytest.fixture
+    def archives(self, tmp_path, capsys):
+        paths = [tmp_path / "a.npz", tmp_path / "b.npz"]
+        for path in paths:
+            assert main([
+                "quantize", "--embedding-bits", "none", "--out", str(path),
+            ]) == 0
+        capsys.readouterr()
+        return paths
+
+    def test_all_ok_exits_zero(self, archives, capsys):
+        assert main(["verify-archive", *map(str, archives)]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 archive(s) ok" in out
+
+    def test_any_failure_exits_nonzero_and_names_each(
+        self, archives, tmp_path, capsys
+    ):
+        from repro.testing.faults import truncate_file
+
+        truncate_file(archives[1], 0.5)
+        missing = tmp_path / "absent.npz"
+        assert main(["verify-archive", str(archives[0]), str(archives[1]),
+                     str(missing)]) == 1
+        out = capsys.readouterr().out
+        assert "ok" in out and "truncated" in out and "missing" in out
+        assert "1/3 archive(s) ok" in out
+
+    def test_quiet_suppresses_ok_but_reports_failures(
+        self, archives, tmp_path, capsys
+    ):
+        assert main(["verify-archive", "--quiet", *map(str, archives)]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == "" and captured.err == ""
+        missing = tmp_path / "absent.npz"
+        assert main(["verify-archive", "--quiet", str(archives[0]),
+                     str(missing)]) == 1
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "missing" in captured.err

@@ -6,15 +6,35 @@ latency by up to the compression ratio; once compression makes layers
 compute-bound, the roofline caps the gain.
 """
 
+import pytest
+
 from benchmarks.conftest import emit, run_once
+from repro.core.quantizer import quantize_tensor
 from repro.hw import EDGE_NPU, SERVER_ACCELERATOR, gobo_speedup, inference_latency
 from repro.models import get_config
+from repro.models.zoo import SyntheticWeightSpec, synthetic_layer_weights
 from repro.utils.tables import format_table
 
-GOBO_BITS = 3.07
+
+@pytest.fixture(scope="module")
+def gobo_bits():
+    """Effective bits/weight from the byte-accurate storage accounting.
+
+    Derived by quantizing a representative BERT-Base FC layer (768x768,
+    3-bit) and reading ``StorageReport.effective_bits_per_weight`` — the
+    packed codes plus centroid table plus outlier overhead — instead of
+    hard-coding a constant that can drift from ``repro.core.formats``.
+    """
+    weights = synthetic_layer_weights((768, 768), SyntheticWeightSpec(), rng=0)
+    tensor, _ = quantize_tensor(weights, bits=3)
+    bits = tensor.storage().effective_bits_per_weight
+    assert 3.0 < bits < 3.5  # 3-bit codes + small outlier/table overhead
+    return bits
 
 
-def test_latency_table(benchmark, results_dir):
+def test_latency_table(benchmark, results_dir, gobo_bits):
+    GOBO_BITS = gobo_bits
+
     def build():
         rows = []
         for model_name in ("bert-base", "bert-large"):
@@ -41,7 +61,10 @@ def test_latency_table(benchmark, results_dir):
         ["Model", "Hardware", "Seq", "FP32 latency", "GOBO latency", "Speedup",
          "FP32 mem-bound"],
         rows,
-        title="Extension: roofline inference latency, FP32 vs GOBO (3.07 eff. bits)",
+        title=(
+            "Extension: roofline inference latency, FP32 vs GOBO "
+            f"({GOBO_BITS:.2f} eff. bits)"
+        ),
     )
     emit(results_dir, "latency_model.txt", text)
 

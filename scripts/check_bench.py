@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Schema-check a BENCH_kernels.json record and enforce the perf gate.
+
+Usage::
+
+    python scripts/check_bench.py benchmarks/results/BENCH_kernels.json
+
+Validates the ``bench-kernels/v1`` schema (every measurement present,
+positive, and finite) and fails — exit code 1 — if the lookup kernel falls
+below 1.0x the dequantize-then-matmul baseline at batch 1, the paper's
+latency scenario.  Batch-8 throughput is recorded but not gated: with a
+prepared decode amortized over many rows, BLAS on the dequantized matrix
+wins, and the record documents that crossover honestly.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+from pathlib import Path
+
+SCHEMA = "bench-kernels/v1"
+GATE_SPEEDUP_BATCH1 = 1.0
+
+REQUIRED_MEASUREMENTS = (
+    "lookup_matmul_batch1_seconds",
+    "lookup_matmul_batch8_seconds",
+    "dequantize_matmul_batch1_seconds",
+    "dequantize_matmul_batch8_seconds",
+    "speedup_batch1",
+    "speedup_batch8",
+    "unpack_seconds",
+    "unpack_values_per_second",
+)
+REQUIRED_LAZY = (
+    "archive_bytes",
+    "lazy_load_seconds",
+    "eager_load_seconds",
+    "bytes_touched_at_load",
+    "bytes_touched_first_layer",
+)
+REQUIRED_CONFIG = ("shape", "bits", "batch_sizes", "repeats")
+
+
+def fail(message: str) -> None:
+    print(f"check_bench: FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def positive_number(record: dict, key: str, context: str) -> float:
+    value = record.get(key)
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        fail(f"{context}.{key} missing or not a number: {value!r}")
+    if not math.isfinite(value) or value <= 0:
+        fail(f"{context}.{key} must be finite and positive, got {value!r}")
+    return float(value)
+
+
+def check(path: Path) -> int:
+    try:
+        record = json.loads(path.read_text())
+    except FileNotFoundError:
+        fail(f"no such file: {path}")
+    except json.JSONDecodeError as exc:
+        fail(f"{path} is not valid JSON: {exc}")
+
+    if record.get("schema") != SCHEMA:
+        fail(f"schema mismatch: expected {SCHEMA!r}, got {record.get('schema')!r}")
+    if not isinstance(record.get("smoke"), bool):
+        fail("missing boolean 'smoke' field")
+    config = record.get("config")
+    if not isinstance(config, dict):
+        fail("missing 'config' object")
+    for key in REQUIRED_CONFIG:
+        if key not in config:
+            fail(f"config.{key} missing")
+
+    measurements = record.get("measurements")
+    if not isinstance(measurements, dict):
+        fail("missing 'measurements' object")
+    for key in REQUIRED_MEASUREMENTS:
+        positive_number(measurements, key, "measurements")
+    lazy = measurements.get("lazy_load")
+    if not isinstance(lazy, dict):
+        fail("measurements.lazy_load missing")
+    for key in REQUIRED_LAZY:
+        positive_number(lazy, key, "measurements.lazy_load")
+
+    if lazy["bytes_touched_at_load"] >= lazy["archive_bytes"]:
+        fail(
+            "lazy load touched the whole archive "
+            f"({lazy['bytes_touched_at_load']} of {lazy['archive_bytes']} bytes)"
+        )
+
+    speedup = measurements["speedup_batch1"]
+    if speedup < GATE_SPEEDUP_BATCH1:
+        fail(
+            f"lookup kernel below {GATE_SPEEDUP_BATCH1:.1f}x the dequantize "
+            f"baseline at batch 1: {speedup:.3f}x"
+        )
+    shape = "x".join(str(d) for d in config["shape"])
+    print(
+        f"check_bench: OK: {path} ({shape}, smoke={record['smoke']}) — "
+        f"batch-1 speedup {speedup:.2f}x, batch-8 {measurements['speedup_batch8']:.2f}x, "
+        f"unpack {measurements['unpack_values_per_second'] / 1e6:.0f}M values/s, "
+        f"lazy load touched {lazy['bytes_touched_at_load']} of "
+        f"{lazy['archive_bytes']} archive bytes"
+    )
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    return check(Path(argv[1]))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -48,8 +48,10 @@ from repro.core.quantizer import (
     quantization_error,
     quantize_tensor,
 )
+from repro.core.npzmap import MmapNpzReader
 from repro.core.serialization import (
     ArchiveCheck,
+    LazyQuantizedTensors,
     load_quantized_model,
     save_quantized_model,
     verify_archive,
@@ -68,6 +70,8 @@ __all__ = [
     "VALIDATION_POLICIES",
     "ArchiveCheck",
     "ClusteringResult",
+    "LazyQuantizedTensors",
+    "MmapNpzReader",
     "CodeEntropyReport",
     "ConvergenceTrace",
     "code_entropy",

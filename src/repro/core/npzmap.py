@@ -1,0 +1,148 @@
+"""Zero-copy member access for the deterministic npz archives.
+
+The archives written by :func:`repro.utils.atomic.write_npz` are plain zip
+containers with **ZIP_STORED** (uncompressed) ``<name>.npy`` members, which
+makes them memory-mappable: each member's array data lives contiguously in
+the file, so a reader can hand out ``np.frombuffer`` views over one shared
+``mmap`` instead of copying every byte through ``np.load``.
+
+That is what serving straight from a compressed archive needs: a GOBO
+archive is dominated by the bit-packed codes, and a lazily loaded model
+should touch only the layers a forward pass actually uses.  Every member
+access is counted on ``npzmap.bytes_mapped`` / ``npzmap.members_read`` obs
+counters so bytes-touched is observable (the whole point of lazy loading —
+see ``tests/core/test_lazy_load.py``).
+
+:class:`MmapNpzReader` falls back to an eager ``zipfile`` read for members
+that are not stored uncompressed (e.g. a ``np.savez_compressed`` archive),
+so it can read any npz, just without the zero-copy property.
+"""
+
+from __future__ import annotations
+
+import mmap
+import struct
+import zipfile
+from io import BytesIO
+from pathlib import Path
+
+import numpy as np
+from numpy.lib import format as _npformat
+
+from repro.errors import SerializationError, TruncatedArchiveError
+from repro.obs import recorder as obs
+
+#: Fixed portion of a zip local file header (PK\x03\x04 ... extra-len).
+_LOCAL_HEADER = struct.Struct("<4sHHHHHIIIHH")
+_LOCAL_MAGIC = b"PK\x03\x04"
+
+
+class MmapNpzReader:
+    """Read npz members as views over one shared memory map.
+
+    ``read(key)`` returns the array stored as ``<key>.npy``; for
+    ZIP_STORED members the result is a read-only view into the map (no
+    copy), otherwise an eagerly decoded array.  The reader (and its map)
+    must outlive every view it hands out; ``close()`` is best-effort and
+    leaves the map open while views still reference it.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        if not self.path.exists():
+            raise SerializationError(f"no such archive: {self.path}")
+        self._file = open(self.path, "rb")
+        try:
+            self._mmap = mmap.mmap(self._file.fileno(), 0, access=mmap.ACCESS_READ)
+            self._zip = zipfile.ZipFile(self._file)
+        except (OSError, ValueError, zipfile.BadZipFile) as exc:
+            self._file.close()
+            raise TruncatedArchiveError(
+                f"cannot map archive {self.path}: not a valid npz container ({exc})"
+            ) from exc
+        self._members = {
+            info.filename[: -len(".npy")]: info
+            for info in self._zip.infolist()
+            if info.filename.endswith(".npy")
+        }
+        self.nbytes = self.path.stat().st_size
+        obs.counter("npzmap.archives_mapped")
+
+    # ------------------------------------------------------------------ access
+    def keys(self) -> list[str]:
+        return list(self._members)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._members
+
+    def read(self, key: str) -> np.ndarray:
+        """The array stored under ``key`` (zero-copy when ZIP_STORED)."""
+        info = self._members.get(key)
+        if info is None:
+            raise KeyError(key)
+        if info.compress_type == zipfile.ZIP_STORED:
+            array = self._read_stored(info)
+        else:
+            # Compressed member: no contiguous bytes to map; decode eagerly.
+            array = np.load(BytesIO(self._zip.read(info.filename)))
+        obs.counter("npzmap.members_read")
+        obs.counter("npzmap.bytes_mapped", int(array.nbytes))
+        return array
+
+    def _read_stored(self, info: zipfile.ZipInfo) -> np.ndarray:
+        """View a stored member's array data directly in the map.
+
+        The central directory records where the member's *local header*
+        starts; the data offset follows the local header, whose name/extra
+        lengths can differ from the central directory's, so they are read
+        from the local header itself.
+        """
+        start = info.header_offset
+        header = self._mmap[start : start + _LOCAL_HEADER.size]
+        if len(header) < _LOCAL_HEADER.size or header[:4] != _LOCAL_MAGIC:
+            raise TruncatedArchiveError(
+                f"archive {self.path}: bad local header for {info.filename!r}"
+            )
+        fields = _LOCAL_HEADER.unpack(header)
+        name_len, extra_len = fields[9], fields[10]
+        data_start = start + _LOCAL_HEADER.size + name_len + extra_len
+        data = memoryview(self._mmap)[data_start : data_start + info.file_size]
+
+        # Parse the .npy header from the member prefix, then view the rest.
+        prefix = BytesIO(bytes(data[: min(len(data), 4096)]))
+        version = _npformat.read_magic(prefix)
+        if version == (1, 0):
+            shape, fortran_order, dtype = _npformat.read_array_header_1_0(prefix)
+        elif version == (2, 0):
+            shape, fortran_order, dtype = _npformat.read_array_header_2_0(prefix)
+        else:
+            raise SerializationError(
+                f"archive member {info.filename!r} uses npy format {version}; "
+                "this mapper supports 1.0 and 2.0"
+            )
+        if dtype.hasobject:
+            raise SerializationError(
+                f"archive member {info.filename!r} stores objects; refusing to map"
+            )
+        count = int(np.prod(shape, dtype=np.int64))
+        array = np.frombuffer(data, dtype=dtype, count=count, offset=prefix.tell())
+        array = array.reshape(shape[::-1]).T if fortran_order else array.reshape(shape)
+        return array
+
+    # ------------------------------------------------------------------- close
+    def close(self) -> None:
+        """Close the zip and, if no views remain, the map and file."""
+        self._zip.close()
+        try:
+            self._mmap.close()
+        except BufferError:
+            # Live views still reference the map; it is released when the
+            # last view is garbage collected.
+            return
+        self._file.close()
+
+    def __enter__(self) -> "MmapNpzReader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

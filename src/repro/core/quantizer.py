@@ -98,7 +98,14 @@ class GoboQuantizedTensor:
         performed in float64 and cast once at the end, so values are
         identical across worker counts; pass ``np.float64`` to keep the
         stored outliers and centroids bit-exact.
+
+        Every call is counted on the ``quantizer.dequantize_calls`` obs
+        counter: a serving path that claims to compute on the compressed
+        representation (:mod:`repro.kernels`) can assert the counter stays
+        at zero across a forward pass.
         """
+        obs.counter("quantizer.dequantize_calls")
+        obs.counter("quantizer.dequantize_bytes", self.total_count * np.dtype(dtype).itemsize)
         flat = np.empty(self.total_count, dtype=np.float64)
         mask = np.zeros(self.total_count, dtype=bool)
         mask[self.outlier_positions] = True

@@ -45,13 +45,15 @@ from __future__ import annotations
 
 import hashlib
 import zipfile
+from collections.abc import Mapping as MappingABC
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Mapping
+from typing import Iterator, Mapping
 
 import numpy as np
 
 from repro.core.model_quantizer import QuantizedModel
+from repro.core.npzmap import MmapNpzReader
 from repro.core.quantizer import GoboQuantizedTensor
 from repro.errors import (
     ChecksumMismatchError,
@@ -172,15 +174,131 @@ def _verify_checksum(arrays: Mapping[str, np.ndarray], path: Path) -> None:
         )
 
 
-def load_quantized_model(path: str | Path) -> QuantizedModel:
+def _parse_meta(meta: np.ndarray, version: int) -> tuple[int, int, tuple[int, ...]]:
+    """(bits, iterations, shape) from a ``::meta`` record of ``version``."""
+    if version >= 2:
+        return int(meta[0]), int(meta[1]), tuple(int(d) for d in meta[2:])
+    return int(meta[0]), 0, tuple(int(d) for d in meta[1:])
+
+
+class LazyQuantizedTensors(MappingABC):
+    """Per-layer on-demand decode over a memory-mapped archive.
+
+    Behaves like the ``quantized`` dict of a :class:`QuantizedModel`, but a
+    layer's codes/centroids/outliers are materialized only when the layer
+    is first accessed — and the bit-packed codes stay **views into the
+    map** (no copy), so the bytes a forward pass touches are exactly the
+    layers it uses.  Decodes are traced on the ``serialization.lazy_layer``
+    span and the ``npzmap.bytes_mapped`` counter.
+    """
+
+    def __init__(self, reader: MmapNpzReader, metas: dict[str, np.ndarray], version: int) -> None:
+        self._reader = reader
+        self._metas = metas
+        self._version = version
+        self._cache: dict[str, GoboQuantizedTensor] = {}
+
+    def __getitem__(self, name: str) -> GoboQuantizedTensor:
+        if name in self._cache:
+            return self._cache[name]
+        if name not in self._metas:
+            raise KeyError(name)
+        with obs.span("serialization.lazy_layer", layer=name):
+            bits, _, shape = _parse_meta(self._metas[name], self._version)
+            try:
+                tensor = GoboQuantizedTensor(
+                    shape=shape,
+                    bits=bits,
+                    centroids=self._reader.read(f"gobo::{name}::centroids").astype(np.float64),
+                    packed_codes=self._reader.read(f"gobo::{name}::codes"),
+                    outlier_positions=self._reader.read(f"gobo::{name}::positions").astype(np.int64),
+                    outlier_values=self._reader.read(f"gobo::{name}::outliers").astype(np.float64),
+                )
+            except KeyError as exc:
+                raise SerializationError(f"archive missing field for {name}: {exc}") from exc
+        obs.counter("serialization.lazy_layers_decoded")
+        self._cache[name] = tensor
+        return tensor
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._metas))
+
+    def __len__(self) -> int:
+        return len(self._metas)
+
+
+def _load_lazy(path: Path) -> QuantizedModel:
+    """The ``lazy=True`` body of :func:`load_quantized_model`."""
+    reader = MmapNpzReader(path)
+    obs.counter("serialization.archives_read_lazy")
+    keys = set(reader.keys())
+    version = 1
+    if "index::version" in keys:
+        version = int(reader.read("index::version")[0])
+    if not 1 <= version <= FORMAT_VERSION:
+        raise SerializationError(
+            f"archive {path} has format version {version}; "
+            f"this reader supports 1..{FORMAT_VERSION}"
+        )
+    # NOTE: the version-3 content checksum is deliberately NOT verified on
+    # the lazy path — verifying would read every byte of the archive, which
+    # is exactly what lazy loading exists to avoid.  Zip per-member CRCs
+    # are likewise bypassed by the mmap views.  Run verify_archive() (or an
+    # eager load) when integrity matters more than bytes touched.
+    names = {
+        key.split("::", 2)[1]
+        for key in keys
+        if key.startswith("gobo::") and key.endswith("::meta")
+    }
+    metas = {name: np.asarray(reader.read(f"gobo::{name}::meta")) for name in names}
+    iterations = {}
+    for name, meta in metas.items():
+        _, layer_iterations, _ = _parse_meta(meta, version)
+        if layer_iterations > 0:
+            iterations[name] = layer_iterations
+    # Pass-through FP32 params (biases, LayerNorm, fallback layers) are
+    # copied eagerly: they are needed in full by any load target, and they
+    # are the small remainder once the weights are bit-packed.
+    fp32 = {
+        key[len("fp32::"):]: reader.read(key).astype(np.float64)
+        for key in keys
+        if key.startswith("fp32::")
+    }
+    try:
+        fc_names = tuple(str(n) for n in reader.read("index::fc"))
+        embedding_names = tuple(str(n) for n in reader.read("index::embeddings"))
+    except KeyError as exc:
+        raise SerializationError(f"archive missing index: {exc}") from exc
+    return QuantizedModel(
+        quantized=LazyQuantizedTensors(reader, metas, version),
+        fp32=fp32,
+        fc_names=fc_names,
+        embedding_names=embedding_names,
+        iterations=iterations,
+    )
+
+
+def load_quantized_model(path: str | Path, lazy: bool = False) -> QuantizedModel:
     """Read a :class:`QuantizedModel` written by :func:`save_quantized_model`.
 
     Archives are loaded with ``allow_pickle=False`` (the format stores no
     object arrays), version-3 archives are checksum-verified before any
     tensor is reconstructed, and the per-layer iteration counts recorded at
     quantization time are restored.
+
+    With ``lazy=True`` the archive is memory-mapped instead of read:
+    indexes and per-layer metadata load eagerly (a few hundred bytes), but
+    each quantized tensor is constructed on first access with its packed
+    codes left as zero-copy views into the map (see
+    :class:`LazyQuantizedTensors` and :class:`~repro.core.npzmap.
+    MmapNpzReader`).  Feeding these tensors to :mod:`repro.kernels` serves
+    inference with bytes-touched proportional to the layers used — at the
+    cost of skipping checksum verification (documented in
+    :func:`_load_lazy`).
     """
     path = Path(path)
+    if lazy:
+        return _load_lazy(path)
     arrays = _read_archive(path)
     obs.counter("serialization.archives_read")
     obs.counter("serialization.bytes_read", path.stat().st_size)
@@ -196,13 +314,9 @@ def load_quantized_model(path: str | Path) -> QuantizedModel:
     iterations: dict[str, int] = {}
     for name in names:
         try:
-            meta = arrays[f"gobo::{name}::meta"]
-            if version >= 2:
-                bits, layer_iterations, shape = int(meta[0]), int(meta[1]), meta[2:]
-            else:
-                bits, layer_iterations, shape = int(meta[0]), 0, meta[1:]
+            bits, layer_iterations, shape = _parse_meta(arrays[f"gobo::{name}::meta"], version)
             tensor = GoboQuantizedTensor(
-                shape=tuple(int(d) for d in shape),
+                shape=shape,
                 bits=bits,
                 centroids=arrays[f"gobo::{name}::centroids"].astype(np.float64),
                 packed_codes=arrays[f"gobo::{name}::codes"].tobytes(),

@@ -1,0 +1,25 @@
+"""Compute on the compressed representation: lookup-based quantized kernels.
+
+GOBO's inference story (paper Sections V-VI) never decodes weights back to
+FP32: matmuls run on 3-bit centroid indexes by accumulating per-centroid
+partial sums of the activation and finishing with a table lookup.  This
+package reproduces that in software:
+
+* :class:`LookupKernel` — prepared per-centroid accumulation for one
+  quantized 2-D tensor (``x @ W.T`` without materializing ``W``),
+* :func:`lookup_matmul` — one-shot convenience wrapper,
+* :func:`dequantize_matmul` — the decode-then-BLAS baseline the perf gate
+  (``BENCH_kernels.json``) compares against.
+
+:class:`repro.nn.QuantizedLinear` routes a ``Linear`` forward through
+:class:`LookupKernel`, and ``load_quantized_model(..., lazy=True)`` feeds
+these kernels straight from a memory-mapped archive.
+"""
+
+from repro.kernels.lookup import LookupKernel, dequantize_matmul, lookup_matmul
+
+__all__ = [
+    "LookupKernel",
+    "dequantize_matmul",
+    "lookup_matmul",
+]

@@ -1,0 +1,228 @@
+"""Matmul kernels that compute directly on GOBO's compressed representation.
+
+The paper's latency/energy argument (Sections V-VI) is that inference never
+needs the FP32 weight matrix: a G-group weight is a ``bits``-wide centroid
+index, so a matrix-vector product can accumulate, for every output row, the
+partial sum of activations per centroid and finish with one ``2^bits``-wide
+dot against the reconstruction table — the few-unique-weights trick that
+cuts DRAM traffic ~10x in the accelerator.
+
+:class:`LookupKernel` is the software realization.  For ``y = x @ W.T``
+with ``W`` quantized:
+
+``y[b, j] = sum_c centroids[c] * S[b, j, c]  +  outlier corrections``
+
+where ``S[b, j, c]`` sums the activations ``x[b, i]`` over the columns
+``i`` whose code in row ``j`` is ``c``.  The grouping of columns by
+centroid is a static property of the compressed tensor, so construction
+sorts each row's codes once (outlier slots get a sentinel code whose
+centroid value is 0) and the forward pass is three vectorized passes:
+
+1. gather the activation through the precomputed permutation,
+2. segment-sum it (one contiguous ``np.add.reduceat`` — this *is* the
+   per-centroid accumulation, all ``2^bits`` passes fused),
+3. scale by the per-segment centroid value and segment-sum again by row,
+   then scatter-add the sparse FP32 outlier corrections.
+
+No FP32 weight matrix is ever materialized: the kernel's resident state is
+the code permutation plus segment metadata, and the per-call temporaries
+are activation-sized, not weight-sized... per batch row.  (In silicon the
+permutation is free — the PE accumulates into one of ``2^bits`` registers
+selected by the streamed code.  In NumPy we pay index memory for the same
+effect; the archive stays the compressed source of truth.)
+
+:func:`dequantize_matmul` is the comparison baseline the benchmarks and the
+CI perf gate measure against: decode the tensor (bit-unpack, outlier
+scatter, centroid gather) on every call, then BLAS — what serving from a
+compressed archive costs *without* lookup kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.quantizer import GoboQuantizedTensor
+from repro.errors import ShapeError
+from repro.obs import recorder as obs
+
+#: Per-call gather budget (elements) before the batch is processed in chunks.
+_CHUNK_ELEMENTS = 1 << 24
+
+
+def _compute_dtype(x: np.ndarray) -> np.dtype:
+    """float32 stays float32 (the paper's decode target); everything else
+    is promoted to the substrate's float64."""
+    if x.dtype == np.float32:
+        return np.dtype(np.float32)
+    return np.dtype(np.float64)
+
+
+class LookupKernel:
+    """Prepared per-centroid accumulation state for one 2-D quantized tensor.
+
+    Parameters
+    ----------
+    tensor:
+        A :class:`~repro.core.quantizer.GoboQuantizedTensor` of 2-D shape
+        ``(out_features, in_features)`` — the HuggingFace FC convention, so
+        :meth:`matmul` computes ``x @ W.T`` exactly like
+        :class:`repro.nn.Linear`.
+    """
+
+    def __init__(self, tensor: GoboQuantizedTensor) -> None:
+        if len(tensor.shape) != 2:
+            raise ShapeError(
+                f"LookupKernel requires a 2-D weight tensor, got shape {tensor.shape}"
+            )
+        self.tensor = tensor
+        self.out_features, self.in_features = tensor.shape
+        self.bits = tensor.bits
+        n_centroids = int(tensor.centroids.size)
+        #: centroid table extended with a zero slot for outlier positions.
+        self.centroids_ext = np.append(
+            np.asarray(tensor.centroids, dtype=np.float64), 0.0
+        )
+        sentinel = n_centroids
+
+        with obs.span(
+            "kernels.prepare", rows=self.out_features, cols=self.in_features,
+            bits=self.bits,
+        ):
+            total = tensor.total_count
+            flat_codes = np.full(total, sentinel, dtype=np.int64)
+            if tensor.gaussian_count:
+                mask = np.zeros(total, dtype=bool)
+                mask[tensor.outlier_positions] = True
+                flat_codes[~mask] = tensor.codes()
+            codes = flat_codes.reshape(tensor.shape)
+
+            if total == 0 or self.in_features == 0:
+                # Degenerate: no columns to accumulate over.
+                self._order = np.empty(tensor.shape, dtype=np.intp)
+                self._segment_starts = np.empty(0, dtype=np.intp)
+                self._segment_values = np.empty(0, dtype=np.float64)
+                self._row_starts = np.empty(0, dtype=np.intp)
+            else:
+                # Static grouping: per row, column order sorted by code.
+                self._order = np.argsort(codes, axis=1, kind="stable")
+                sorted_codes = np.take_along_axis(codes, self._order, axis=1)
+                # Offset codes per row so segment boundaries never span rows.
+                keys = (
+                    sorted_codes
+                    + np.arange(self.out_features, dtype=np.int64)[:, None]
+                    * (sentinel + 1)
+                ).ravel()
+                boundaries = np.flatnonzero(np.diff(keys)) + 1
+                self._segment_starts = np.concatenate(
+                    ([0], boundaries)
+                ).astype(np.intp)
+                segment_keys = keys[self._segment_starts]
+                segment_rows = segment_keys // (sentinel + 1)
+                self._segment_values = self.centroids_ext[
+                    segment_keys % (sentinel + 1)
+                ]
+                # First segment of each row (every row has >= 1 segment).
+                self._row_starts = np.searchsorted(
+                    segment_rows, np.arange(self.out_features)
+                ).astype(np.intp)
+
+            # Sparse FP32 outlier corrections: y[:, row] += x[:, col] * value.
+            self._outlier_rows = tensor.outlier_positions // max(self.in_features, 1)
+            self._outlier_cols = tensor.outlier_positions % max(self.in_features, 1)
+            self._outlier_values = np.asarray(tensor.outlier_values, dtype=np.float64)
+
+        obs.counter("kernels.prepared")
+        obs.counter("kernels.prepared_bytes", self.prepared_nbytes)
+
+    # ------------------------------------------------------------------ sizes
+    @property
+    def prepared_nbytes(self) -> int:
+        """Resident bytes of the prepared index state (the software cost of
+        emulating the accelerator's free in-PE centroid select)."""
+        return int(
+            self._order.nbytes
+            + self._segment_starts.nbytes
+            + self._segment_values.nbytes
+            + self._row_starts.nbytes
+            + self._outlier_rows.nbytes
+            + self._outlier_cols.nbytes
+            + self._outlier_values.nbytes
+            + self.centroids_ext.nbytes
+        )
+
+    # ----------------------------------------------------------------- compute
+    def matmul(self, x: np.ndarray) -> np.ndarray:
+        """``x @ W.T`` for ``x`` of shape ``(..., in_features)``.
+
+        Accumulates per-centroid partial sums of the activation and applies
+        the FP32 outlier corrections; the FP32 weight matrix is never
+        built.  Float32 inputs are computed in float32 (the paper's decode
+        target), everything else in float64.
+        """
+        x = np.asarray(x)
+        if x.ndim == 0 or x.shape[-1] != self.in_features:
+            raise ShapeError(
+                f"LookupKernel expected last dim {self.in_features}, "
+                f"got input shape {x.shape}"
+            )
+        dtype = _compute_dtype(x)
+        lead = x.shape[:-1]
+        rows = int(np.prod(lead)) if lead else 1
+        x2 = np.ascontiguousarray(x.reshape(rows, self.in_features), dtype=dtype)
+        y = np.zeros((rows, self.out_features), dtype=dtype)
+
+        if self.in_features and self.out_features and self.tensor.total_count:
+            segment_values = self._segment_values.astype(dtype, copy=False)
+            chunk = max(1, _CHUNK_ELEMENTS // max(self.out_features * self.in_features, 1))
+            for start in range(0, rows, chunk):
+                stop = min(start + chunk, rows)
+                gathered = x2[start:stop, self._order]
+                sums = np.add.reduceat(
+                    gathered.reshape(stop - start, -1), self._segment_starts, axis=1
+                )
+                sums *= segment_values
+                y[start:stop] = np.add.reduceat(sums, self._row_starts, axis=1)
+            if self._outlier_values.size:
+                corrections = x2[:, self._outlier_cols] * self._outlier_values.astype(
+                    dtype, copy=False
+                )
+                np.add.at(y, (slice(None), self._outlier_rows), corrections)
+
+        obs.counter("kernels.lookup_matmul_calls")
+        obs.counter("kernels.lookup_matmul_rows", rows)
+        return y.reshape(*lead, self.out_features)
+
+    __call__ = matmul
+
+
+def lookup_matmul(x: np.ndarray, tensor: GoboQuantizedTensor) -> np.ndarray:
+    """One-shot ``x @ W.T`` on the compressed ``tensor``.
+
+    Convenience wrapper that builds a :class:`LookupKernel` per call; for a
+    serving path, construct the kernel once (see
+    :class:`repro.nn.QuantizedLinear`).
+    """
+    return LookupKernel(tensor).matmul(x)
+
+
+def dequantize_matmul(x: np.ndarray, tensor: GoboQuantizedTensor) -> np.ndarray:
+    """The decode-per-call baseline: reconstruct ``W`` in floating point,
+    then ``x @ W.T`` via BLAS.
+
+    This is what serving from a compressed archive costs without lookup
+    kernels, and the denominator of the ``BENCH_kernels.json`` speedup the
+    CI perf gate enforces.
+    """
+    x = np.asarray(x)
+    if len(tensor.shape) != 2:
+        raise ShapeError(
+            f"dequantize_matmul requires a 2-D weight tensor, got shape {tensor.shape}"
+        )
+    if x.ndim == 0 or x.shape[-1] != tensor.shape[1]:
+        raise ShapeError(
+            f"dequantize_matmul expected last dim {tensor.shape[1]}, "
+            f"got input shape {x.shape}"
+        )
+    dtype = _compute_dtype(x)
+    weights = tensor.dequantize(dtype=dtype)
+    return x.astype(dtype, copy=False) @ weights.T

@@ -30,6 +30,7 @@ from repro.models.heads import (
     BertForSequenceClassification,
     BertForSpanPrediction,
 )
+from repro.models.quantized import attach_quantized_linears
 from repro.models.zoo import (
     SyntheticWeightSpec,
     build_model,
@@ -61,6 +62,7 @@ __all__ = [
     "TINY_ROBERTA",
     "TINY_ROBERTA_LARGE",
     "architecture_table",
+    "attach_quantized_linears",
     "available_configs",
     "build_model",
     "embedding_shapes",

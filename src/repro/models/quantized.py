@@ -1,0 +1,69 @@
+"""Wire a :class:`~repro.core.model_quantizer.QuantizedModel` into a live
+network so inference runs on the compressed representation.
+
+:func:`attach_quantized_linears` swaps every quantized FC ``Linear`` for a
+:class:`~repro.nn.QuantizedLinear` routed through the lookup kernels of
+:mod:`repro.kernels`.  After the swap, a forward pass never calls
+``dequantize()`` — asserted in the tests via the
+``quantizer.dequantize_calls`` obs counter — while everything GOBO leaves
+FP32 (biases, LayerNorm, embeddings, heads) is loaded as usual.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import QuantizationError
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+from repro.nn.qlinear import QuantizedLinear
+
+if TYPE_CHECKING:  # imported lazily to break the models <-> core cycle
+    from repro.core.model_quantizer import QuantizedModel
+
+
+def _resolve(model: Module, dotted: str) -> tuple[Module, str]:
+    """Walk ``dotted`` (e.g. ``encoder.0.attention.query``) to its parent
+    module and final attribute name."""
+    parts = dotted.split(".")
+    module = model
+    for part in parts[:-1]:
+        child = module._modules.get(part)
+        if child is None:
+            raise QuantizationError(f"model has no submodule {part!r} on path {dotted!r}")
+        module = child
+    return module, parts[-1]
+
+
+def attach_quantized_linears(model: Module, qmodel: QuantizedModel) -> Module:
+    """Load ``qmodel`` into ``model`` and swap its quantized FC layers for
+    :class:`~repro.nn.QuantizedLinear` modules.
+
+    Two phases:
+
+    1. ``qmodel.apply_to(model)`` loads the full reconstructed state dict —
+       the one-time setup decode (embeddings, biases, and any layer that
+       fell back to FP32).  This is the only point that dequantizes.
+    2. Every FC weight present in ``qmodel.quantized`` has its ``Linear``
+       replaced by a ``QuantizedLinear`` wrapping the compressed tensor, so
+       subsequent forwards compute via lookup kernels with no FP32 weight
+       matrix resident.
+
+    Returns ``model`` in eval mode (``QuantizedLinear`` is inference-only).
+    """
+    qmodel.apply_to(model)
+    for name in qmodel.fc_names:
+        tensor = qmodel.quantized.get(name)
+        if tensor is None:  # fp32-fallback or dropped layer: leave the Linear.
+            continue
+        if not name.endswith(".weight"):
+            raise QuantizationError(f"FC parameter {name!r} is not a .weight tensor")
+        parent, attr = _resolve(model, name[: -len(".weight")])
+        linear = parent._modules.get(attr)
+        if not isinstance(linear, Linear):
+            raise QuantizationError(
+                f"expected a Linear at {name[: -len('.weight')]!r}, got "
+                f"{type(linear).__name__}"
+            )
+        setattr(parent, attr, QuantizedLinear.from_linear(linear, tensor))
+    return model.eval()

@@ -4,6 +4,7 @@ from repro.nn import functional
 from repro.nn.attention import MultiHeadSelfAttention
 from repro.nn.layers import Dropout, Embedding, LayerNorm, Linear
 from repro.nn.module import Module, ModuleList, Parameter
+from repro.nn.qlinear import QuantizedLinear
 from repro.nn.tensor import Tensor, as_tensor, concat, stack
 from repro.nn.transformer import BertEncoderLayer
 
@@ -17,6 +18,7 @@ __all__ = [
     "ModuleList",
     "MultiHeadSelfAttention",
     "Parameter",
+    "QuantizedLinear",
     "Tensor",
     "as_tensor",
     "concat",

@@ -4,9 +4,31 @@ GOBO stores each "G"-group weight as a ``bits``-wide index (2..8 bits).  The
 paper's compression ratios assume these indexes are stored densely, so the
 storage format packs them back to back into a byte stream with no padding
 between values (only the final byte may carry unused trailing bits).
+
+Layout: value ``k`` occupies bits ``[k*bits, (k+1)*bits)`` of the stream,
+LSB first within each value, and stream bit ``i`` lives in byte ``i // 8``
+at bit position ``i % 8`` (little-endian bit order).
+
+Two implementations share that layout:
+
+* a **grouped fast path** for every width whose bit-groups fit a 64-bit
+  word (1-8, 10, 12, 14 and 16 — in particular the 2/3/4/8-bit widths the
+  quantizer actually emits): ``lcm(bits, 8) / bits`` values are packed into
+  ``lcm(bits, 8) / 8`` bytes with vectorized shifts, so the working set
+  stays proportional to the payload;
+* a **bit-matrix fallback** for the remaining widths (9, 11, 13, 15),
+  which expands each value into its bits before calling ``np.packbits`` —
+  correct but ~``bits``x the payload in temporaries.
+
+The fast path matters: the lookup kernels in :mod:`repro.kernels` unpack
+codes on the serving path, where the fallback's ``count x bits`` uint64
+bit matrix (~24x the payload for 3-bit codes on a 768x768 layer) would
+dominate the latency the kernel is meant to remove.
 """
 
 from __future__ import annotations
+
+import math
 
 import numpy as np
 
@@ -19,18 +41,51 @@ def packed_nbytes(count: int, bits: int) -> int:
     return (count * bits + 7) // 8
 
 
+def _group_geometry(bits: int) -> tuple[int, int] | None:
+    """(values per group, bytes per group) for the fast path, else None.
+
+    A group is the smallest run of values whose packed form is whole bytes:
+    ``lcm(bits, 8) // bits`` values in ``lcm(bits, 8) // 8`` bytes.  The
+    fast path requires the group to fit one uint64 word.
+    """
+    gcd = math.gcd(bits, 8)
+    values_per_group = 8 // gcd
+    bytes_per_group = bits // gcd
+    if bits * values_per_group > 64:
+        return None
+    return values_per_group, bytes_per_group
+
+
 def pack_bits(values: np.ndarray, bits: int) -> bytes:
     """Pack an array of unsigned integers into a dense little-endian bitstream.
 
-    Values must fit in ``bits`` bits.  The inverse is :func:`unpack_bits`.
+    Values must be a non-negative integer (or boolean) array and fit in
+    ``bits`` bits.  Float arrays are rejected rather than silently
+    truncated, and negative values are rejected rather than wrapped through
+    the unsigned conversion.  The inverse is :func:`unpack_bits`.
     """
     _check_bits(bits)
-    flat = np.ascontiguousarray(values, dtype=np.uint64).ravel()
-    if flat.size and int(flat.max()) >= (1 << bits):
-        raise ValueError(f"value {int(flat.max())} does not fit in {bits} bits")
-    # Expand each value into its bits (LSB first), then let numpy pack them.
-    bit_matrix = (flat[:, None] >> np.arange(bits, dtype=np.uint64)) & np.uint64(1)
-    return np.packbits(bit_matrix.astype(np.uint8).ravel(), bitorder="little").tobytes()
+    array = np.asarray(values)
+    if array.dtype != np.bool_ and not np.issubdtype(array.dtype, np.integer):
+        raise TypeError(
+            f"pack_bits requires an integer array, got dtype {array.dtype}; "
+            "round or cast explicitly before packing"
+        )
+    flat = array.ravel()
+    if flat.size:
+        low = int(flat.min())
+        if low < 0:
+            raise ValueError(
+                f"pack_bits requires non-negative values, got {low}"
+            )
+        high = int(flat.max())
+        if high >= (1 << bits):
+            raise ValueError(f"value {high} does not fit in {bits} bits")
+    flat = np.ascontiguousarray(flat, dtype=np.uint64)
+    geometry = _group_geometry(bits)
+    if geometry is None:
+        return _pack_bits_bitmatrix(flat, bits)
+    return _pack_bits_grouped(flat, bits, *geometry)
 
 
 def unpack_bits(data: bytes, bits: int, count: int) -> np.ndarray:
@@ -42,6 +97,58 @@ def unpack_bits(data: bytes, bits: int, count: int) -> np.ndarray:
     if len(data) < needed:
         raise ValueError(f"need {needed} bytes for {count} x {bits}-bit values, got {len(data)}")
     raw = np.frombuffer(data, dtype=np.uint8, count=needed)
+    geometry = _group_geometry(bits)
+    if geometry is None:
+        return _unpack_bits_bitmatrix(raw, bits, count)
+    return _unpack_bits_grouped(raw, bits, count, *geometry)
+
+
+# --------------------------------------------------------------- fast path
+def _pack_bits_grouped(
+    flat: np.ndarray, bits: int, values_per_group: int, bytes_per_group: int
+) -> bytes:
+    if flat.size == 0:
+        return b""
+    groups = -(-flat.size // values_per_group)
+    padded = np.zeros(groups * values_per_group, dtype=np.uint64)
+    padded[: flat.size] = flat
+    shifts = (np.arange(values_per_group, dtype=np.uint64) * np.uint64(bits))
+    words = np.bitwise_or.reduce(
+        padded.reshape(groups, values_per_group) << shifts, axis=1
+    )
+    group_bytes = (
+        words.astype("<u8", copy=False).view(np.uint8).reshape(groups, 8)[:, :bytes_per_group]
+    )
+    stream = np.ascontiguousarray(group_bytes).tobytes()
+    return stream[: packed_nbytes(flat.size, bits)]
+
+
+def _unpack_bits_grouped(
+    raw: np.ndarray, bits: int, count: int, values_per_group: int, bytes_per_group: int
+) -> np.ndarray:
+    if count == 0:
+        return np.empty(0, dtype=np.int64)
+    groups = -(-count // values_per_group)
+    padded = np.zeros(groups * bytes_per_group, dtype=np.uint8)
+    padded[: raw.size] = raw
+    buffer = np.zeros((groups, 8), dtype=np.uint8)
+    buffer[:, :bytes_per_group] = padded.reshape(groups, bytes_per_group)
+    words = buffer.view("<u8").astype(np.uint64, copy=False).reshape(groups)
+    shifts = np.arange(values_per_group, dtype=np.uint64) * np.uint64(bits)
+    mask = np.uint64((1 << bits) - 1)
+    values = (words[:, None] >> shifts) & mask
+    return values.reshape(-1)[:count].astype(np.int64)
+
+
+# ---------------------------------------------------------------- fallback
+def _pack_bits_bitmatrix(flat: np.ndarray, bits: int) -> bytes:
+    """Reference implementation: expand to bits (LSB first), np.packbits."""
+    bit_matrix = (flat[:, None] >> np.arange(bits, dtype=np.uint64)) & np.uint64(1)
+    return np.packbits(bit_matrix.astype(np.uint8).ravel(), bitorder="little").tobytes()
+
+
+def _unpack_bits_bitmatrix(raw: np.ndarray, bits: int, count: int) -> np.ndarray:
+    """Reference implementation: np.unpackbits, recombine bit columns."""
     bit_stream = np.unpackbits(raw, bitorder="little")[: count * bits]
     bit_matrix = bit_stream.reshape(count, bits).astype(np.uint64)
     weights = np.uint64(1) << np.arange(bits, dtype=np.uint64)

@@ -1,0 +1,181 @@
+"""Zero-copy lazy loading: mmap views, on-demand decode, bytes-touched.
+
+Covers :class:`~repro.core.npzmap.MmapNpzReader` (member views over one
+shared map, eager fallback for compressed members) and
+``load_quantized_model(..., lazy=True)`` — including the satellite
+requirement that lazy and eager loads are equivalent over the golden
+v1/v2/v3 fixtures, and that bytes-touched is observable via obs counters.
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.model_quantizer import quantize_model
+from repro.core.npzmap import MmapNpzReader
+from repro.core.serialization import (
+    LazyQuantizedTensors,
+    load_quantized_model,
+    save_quantized_model,
+)
+from repro.errors import SerializationError, TruncatedArchiveError
+from repro.kernels import LookupKernel, dequantize_matmul
+from repro.models import BertModel, attach_quantized_linears
+from repro.testing.golden import GOLDEN_VERSIONS, golden_path, write_golden
+from tests.conftest import MICRO_CONFIG
+
+DATA_DIR = Path(__file__).resolve().parents[1] / "data"
+
+
+@pytest.fixture(scope="module")
+def saved_archive(tmp_path_factory):
+    model = BertModel(MICRO_CONFIG, rng=20260807).eval()
+    qmodel = quantize_model(model, weight_bits=3, embedding_bits=4)
+    path = tmp_path_factory.mktemp("lazy") / "model.npz"
+    save_quantized_model(qmodel, path)
+    return qmodel, path
+
+
+class TestMmapNpzReader:
+    def test_members_match_np_load(self, saved_archive):
+        _, path = saved_archive
+        with np.load(path) as expected:
+            reader = MmapNpzReader(path)
+            assert sorted(reader.keys()) == sorted(expected.files)
+            for key in expected.files:
+                np.testing.assert_array_equal(reader.read(key), expected[key])
+
+    def test_stored_members_are_views_not_copies(self, saved_archive):
+        """ZIP_STORED members come back as read-only views over the map."""
+        _, path = saved_archive
+        reader = MmapNpzReader(path)
+        key = next(k for k in reader.keys() if k.endswith("::codes"))
+        array = reader.read(key)
+        assert array.flags.writeable is False
+        assert array.base is not None  # borrowed buffer, not owned memory
+
+    def test_compressed_archive_falls_back_to_eager(self, tmp_path, rng):
+        path = tmp_path / "compressed.npz"
+        payload = {"a": rng.normal(size=(7, 5)), "b": np.arange(12, dtype=np.int64)}
+        np.savez_compressed(path, **payload)
+        reader = MmapNpzReader(path)
+        for key, value in payload.items():
+            np.testing.assert_array_equal(reader.read(key), value)
+
+    def test_missing_member_raises(self, saved_archive):
+        _, path = saved_archive
+        with pytest.raises(KeyError):
+            MmapNpzReader(path).read("no::such::member")
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(SerializationError):
+            MmapNpzReader(tmp_path / "absent.npz")
+
+    def test_not_a_zip_raises(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"this is not a zip archive")
+        with pytest.raises(TruncatedArchiveError):
+            MmapNpzReader(path)
+
+    def test_bytes_mapped_counter(self, saved_archive):
+        _, path = saved_archive
+        reader = MmapNpzReader(path)
+        key = next(k for k in reader.keys() if k.endswith("::codes"))
+        with obs.scope() as trace:
+            array = reader.read(key)
+        mapped = [e for e in trace.events if e["name"] == "npzmap.bytes_mapped"]
+        assert len(mapped) == 1
+        assert mapped[0]["value"] == array.nbytes
+
+
+class TestLazyEagerEquivalence:
+    @pytest.mark.parametrize("version", GOLDEN_VERSIONS)
+    def test_golden_archives(self, version, tmp_path):
+        """Satellite: lazy == eager over every archived format version."""
+        committed = golden_path(DATA_DIR, version)
+        path = committed if committed.exists() else write_golden(tmp_path, version)
+        eager = load_quantized_model(path)
+        lazy = load_quantized_model(path, lazy=True)
+        assert set(lazy.quantized) == set(eager.quantized)
+        assert lazy.fc_names == eager.fc_names
+        assert lazy.embedding_names == eager.embedding_names
+        assert lazy.iterations == eager.iterations
+        for name, expected in eager.quantized.items():
+            tensor = lazy.quantized[name]
+            assert tensor.shape == expected.shape
+            assert tensor.bits == expected.bits
+            assert bytes(tensor.packed_codes) == bytes(expected.packed_codes)
+            np.testing.assert_array_equal(
+                tensor.dequantize(np.float64), expected.dequantize(np.float64)
+            )
+        for name, expected in eager.fp32.items():
+            np.testing.assert_array_equal(lazy.fp32[name], expected)
+
+    def test_round_trip_micro_model(self, saved_archive):
+        qmodel, path = saved_archive
+        lazy = load_quantized_model(path, lazy=True)
+        state = lazy.state_dict(dtype=np.float32)
+        expected = load_quantized_model(path).state_dict(dtype=np.float32)
+        assert set(state) == set(expected)
+        for name in expected:
+            np.testing.assert_array_equal(state[name], expected[name])
+
+    def test_lazy_tensor_feeds_lookup_kernel(self, saved_archive):
+        """Serving straight from the map: kernel over a lazy tensor."""
+        _, path = saved_archive
+        lazy = load_quantized_model(path, lazy=True)
+        name = lazy.fc_names[0]
+        tensor = lazy.quantized[name]
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(2, tensor.shape[1]))
+        np.testing.assert_allclose(
+            LookupKernel(tensor).matmul(x),
+            dequantize_matmul(x, tensor),
+            rtol=1e-9,
+            atol=1e-12,
+        )
+
+    def test_attach_quantized_linears_from_lazy_model(self, saved_archive):
+        _, path = saved_archive
+        lazy = load_quantized_model(path, lazy=True)
+        model = attach_quantized_linears(BertModel(MICRO_CONFIG, rng=1), lazy)
+        input_ids = np.random.default_rng(5).integers(0, MICRO_CONFIG.vocab_size, size=(1, 6))
+        hidden, pooled = model(input_ids)
+        assert hidden.shape == (1, 6, MICRO_CONFIG.hidden_size)
+        assert np.isfinite(pooled.data).all()
+
+
+class TestBytesTouched:
+    def test_load_reads_only_metadata(self, saved_archive):
+        """The defining property: the load itself touches index/meta/fp32,
+        not the packed codes that dominate the archive."""
+        _, path = saved_archive
+        total = path.stat().st_size
+        with obs.scope() as trace:
+            lazy = load_quantized_model(path, lazy=True)
+        touched = sum(
+            e["value"] for e in trace.events if e["name"] == "npzmap.bytes_mapped"
+        )
+        assert 0 < touched < total / 2
+        assert isinstance(lazy.quantized, LazyQuantizedTensors)
+
+    def test_layer_access_is_counted_and_cached(self, saved_archive):
+        _, path = saved_archive
+        lazy = load_quantized_model(path, lazy=True)
+        name = lazy.fc_names[0]
+        with obs.scope() as trace:
+            first = lazy.quantized[name]
+            second = lazy.quantized[name]
+        assert first is second
+        decoded = [
+            e for e in trace.events if e["name"] == "serialization.lazy_layers_decoded"
+        ]
+        assert len(decoded) == 1
+
+    def test_unknown_layer_raises(self, saved_archive):
+        _, path = saved_archive
+        lazy = load_quantized_model(path, lazy=True)
+        with pytest.raises(KeyError):
+            lazy.quantized["encoder.99.bogus.weight"]

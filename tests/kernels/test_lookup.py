@@ -1,0 +1,241 @@
+"""Lookup-kernel correctness: lookup matmul ≡ dequantize-then-matmul.
+
+The correctness bar from the kernels issue: bit-exact in float64 (checked on
+exactly-representable inputs, where any misrouted weight changes the exact
+sum), within 1e-6 relative in float32, across bits 2-8, outlier fractions
+including 0 and 1, and empty/degenerate tensors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.quantizer import GoboQuantizedTensor, quantize_tensor
+from repro.errors import ShapeError
+from repro.kernels import LookupKernel, dequantize_matmul, lookup_matmul
+from repro.utils.bitpack import pack_bits
+from repro.utils.rng import derive_rng
+
+
+def make_tensor(
+    rng: np.random.Generator,
+    shape: tuple[int, int],
+    bits: int,
+    outlier_fraction: float,
+    dyadic: bool = False,
+) -> GoboQuantizedTensor:
+    """Hand-build a quantized tensor with exact control over every field.
+
+    ``dyadic=True`` draws centroids and outliers from powers of two, so
+    products against integer activations are exact in float64 and the
+    lookup/dequantize comparison can demand bit equality.
+    """
+    total = int(np.prod(shape))
+    n_centroids = 1 << bits
+    if dyadic:
+        centroids = 2.0 ** rng.integers(-4, 4, size=n_centroids).astype(np.float64)
+        centroids *= rng.choice([-1.0, 1.0], size=n_centroids)
+    else:
+        centroids = np.sort(rng.normal(size=n_centroids))
+    n_outliers = int(round(total * outlier_fraction))
+    positions = np.sort(rng.choice(total, size=n_outliers, replace=False)).astype(np.int64)
+    if dyadic:
+        values = 2.0 ** rng.integers(-2, 6, size=n_outliers).astype(np.float64)
+        values *= rng.choice([-1.0, 1.0], size=n_outliers)
+    else:
+        values = rng.normal(size=n_outliers) * 4.0
+    codes = rng.integers(0, n_centroids, size=total - n_outliers)
+    return GoboQuantizedTensor(
+        shape=shape,
+        bits=bits,
+        centroids=centroids,
+        packed_codes=pack_bits(codes, bits),
+        outlier_positions=positions,
+        outlier_values=values,
+    )
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("bits", range(2, 9))
+    @pytest.mark.parametrize("outlier_fraction", [0.0, 0.02, 0.5])
+    def test_matches_dequantize_float64(self, bits, outlier_fraction):
+        rng = derive_rng(20260807, "kernel-eq", bits, int(outlier_fraction * 100))
+        tensor = make_tensor(rng, (13, 17), bits, outlier_fraction)
+        x = rng.normal(size=(5, 17))
+        np.testing.assert_allclose(
+            LookupKernel(tensor).matmul(x),
+            dequantize_matmul(x, tensor),
+            rtol=1e-12,
+            atol=1e-12,
+        )
+
+    @pytest.mark.parametrize("bits", [2, 3, 4, 8])
+    def test_bit_exact_float64_on_exact_inputs(self, bits):
+        """Integer activations x dyadic centroids: every partial product is
+        exact in float64, so any summation order gives the same bits and
+        the kernel must agree with the dequantize path *exactly*.  This
+        catches any misrouted code/outlier with probability ~1."""
+        rng = derive_rng(20260807, "kernel-exact", bits)
+        tensor = make_tensor(rng, (24, 31), bits, 0.05, dyadic=True)
+        x = rng.integers(-8, 9, size=(4, 31)).astype(np.float64)
+        lookup = LookupKernel(tensor).matmul(x)
+        reference = dequantize_matmul(x, tensor)
+        assert lookup.dtype == np.float64
+        np.testing.assert_array_equal(lookup, reference)
+
+    def test_float32_within_relative_tolerance(self):
+        rng = derive_rng(20260807, "kernel-f32")
+        tensor = make_tensor(rng, (48, 64), 3, 0.01)
+        x = rng.normal(size=(8, 64)).astype(np.float32)
+        lookup = LookupKernel(tensor).matmul(x)
+        reference = dequantize_matmul(x, tensor)
+        assert lookup.dtype == np.float32
+        # Relative to the output scale: the two paths sum in different
+        # orders, so per-element relative error is unbounded under
+        # cancellation, but the error relative to the result magnitude
+        # must stay within float32 noise.
+        scale = float(np.max(np.abs(reference)))
+        assert float(np.max(np.abs(lookup - reference))) < 1e-6 * scale
+
+    def test_matches_real_quantizer_output(self):
+        rng = derive_rng(20260807, "kernel-real")
+        weights = rng.normal(scale=0.05, size=(40, 56))
+        tensor, _ = quantize_tensor(weights, bits=3)
+        x = rng.normal(size=(3, 56))
+        np.testing.assert_allclose(
+            lookup_matmul(x, tensor), dequantize_matmul(x, tensor), rtol=1e-12, atol=1e-12
+        )
+
+    def test_all_outliers(self):
+        """gaussian_count == 0: every weight is an FP32 correction."""
+        rng = derive_rng(20260807, "kernel-all-out")
+        tensor = make_tensor(rng, (6, 9), 3, 1.0)
+        x = rng.normal(size=(2, 9))
+        np.testing.assert_allclose(
+            LookupKernel(tensor).matmul(x),
+            dequantize_matmul(x, tensor),
+            rtol=1e-12,
+            atol=1e-12,
+        )
+
+    @given(
+        rows=st.integers(min_value=0, max_value=12),
+        cols=st.integers(min_value=0, max_value=12),
+        batch=st.integers(min_value=1, max_value=4),
+        bits=st.integers(min_value=2, max_value=8),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_random_shapes(self, rows, cols, batch, bits, seed):
+        """Satellite property test: lookup ≡ dequantize for random shapes,
+        bits 2-8, outlier fraction 0, including empty tensors."""
+        rng = np.random.default_rng(seed)
+        tensor = make_tensor(rng, (rows, cols), bits, 0.0)
+        x = rng.normal(size=(batch, cols))
+        np.testing.assert_allclose(
+            LookupKernel(tensor).matmul(x),
+            dequantize_matmul(x, tensor),
+            rtol=1e-12,
+            atol=1e-12,
+        )
+
+
+class TestShapes:
+    def test_vector_input(self):
+        rng = derive_rng(20260807, "kernel-vec")
+        tensor = make_tensor(rng, (7, 11), 3, 0.1)
+        x = rng.normal(size=11)
+        result = LookupKernel(tensor).matmul(x)
+        assert result.shape == (7,)
+        np.testing.assert_allclose(result, dequantize_matmul(x, tensor), rtol=1e-12)
+
+    def test_3d_batch(self):
+        rng = derive_rng(20260807, "kernel-3d")
+        tensor = make_tensor(rng, (10, 6), 4, 0.0)
+        x = rng.normal(size=(2, 3, 6))
+        result = LookupKernel(tensor).matmul(x)
+        assert result.shape == (2, 3, 10)
+        np.testing.assert_allclose(result, dequantize_matmul(x, tensor), rtol=1e-12)
+
+    def test_empty_rows(self):
+        rng = derive_rng(20260807, "kernel-empty-rows")
+        tensor = make_tensor(rng, (0, 5), 3, 0.0)
+        assert LookupKernel(tensor).matmul(rng.normal(size=(4, 5))).shape == (4, 0)
+
+    def test_empty_cols(self):
+        rng = derive_rng(20260807, "kernel-empty-cols")
+        tensor = make_tensor(rng, (5, 0), 3, 0.0)
+        result = LookupKernel(tensor).matmul(np.empty((4, 0)))
+        assert result.shape == (4, 5)
+        np.testing.assert_array_equal(result, np.zeros((4, 5)))
+
+    def test_wrong_last_dim_rejected(self):
+        rng = derive_rng(20260807, "kernel-baddim")
+        tensor = make_tensor(rng, (5, 8), 3, 0.0)
+        with pytest.raises(ShapeError, match="last dim 8"):
+            LookupKernel(tensor).matmul(np.zeros((2, 9)))
+        with pytest.raises(ShapeError, match="last dim 8"):
+            dequantize_matmul(np.zeros((2, 9)), tensor)
+
+    def test_non_2d_tensor_rejected(self):
+        rng = derive_rng(20260807, "kernel-1d")
+        tensor = make_tensor(rng, (4, 5), 3, 0.0)
+        flat = GoboQuantizedTensor(
+            shape=(20,),
+            bits=tensor.bits,
+            centroids=tensor.centroids,
+            packed_codes=tensor.packed_codes,
+            outlier_positions=tensor.outlier_positions,
+            outlier_values=tensor.outlier_values,
+        )
+        with pytest.raises(ShapeError, match="2-D"):
+            LookupKernel(flat)
+        with pytest.raises(ShapeError, match="2-D"):
+            dequantize_matmul(np.zeros(20), flat)
+
+
+class TestChunking:
+    def test_chunked_batch_matches_unchunked(self, monkeypatch):
+        import repro.kernels.lookup as lookup_module
+
+        rng = derive_rng(20260807, "kernel-chunk")
+        tensor = make_tensor(rng, (9, 14), 3, 0.05)
+        x = rng.normal(size=(17, 14))
+        full = LookupKernel(tensor).matmul(x)
+        monkeypatch.setattr(lookup_module, "_CHUNK_ELEMENTS", 9 * 14 * 2)
+        chunked = LookupKernel(tensor).matmul(x)
+        np.testing.assert_array_equal(full, chunked)
+
+
+class TestObservability:
+    def test_no_dequantize_on_lookup_path(self):
+        """The whole point: LookupKernel never touches dequantize()."""
+        from repro import obs
+
+        rng = derive_rng(20260807, "kernel-obs")
+        tensor = make_tensor(rng, (12, 15), 3, 0.1)
+        kernel = LookupKernel(tensor)
+        x = rng.normal(size=(2, 15))
+        with obs.scope() as trace:
+            kernel.matmul(x)
+        names = [event["name"] for event in trace.events]
+        assert "quantizer.dequantize_calls" not in names
+        assert "kernels.lookup_matmul_calls" in names
+
+    def test_dequantize_baseline_counts(self):
+        from repro import obs
+
+        rng = derive_rng(20260807, "kernel-obs2")
+        tensor = make_tensor(rng, (12, 15), 3, 0.1)
+        with obs.scope() as trace:
+            dequantize_matmul(rng.normal(size=(2, 15)), tensor)
+        names = [event["name"] for event in trace.events]
+        assert "quantizer.dequantize_calls" in names
+
+    def test_prepared_nbytes_positive(self):
+        rng = derive_rng(20260807, "kernel-bytes")
+        tensor = make_tensor(rng, (12, 15), 3, 0.1)
+        assert LookupKernel(tensor).prepared_nbytes > 0

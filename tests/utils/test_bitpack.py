@@ -5,7 +5,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.utils.bitpack import pack_bits, packed_nbytes, unpack_bits
+from repro.utils.bitpack import (
+    _pack_bits_bitmatrix,
+    _unpack_bits_bitmatrix,
+    pack_bits,
+    packed_nbytes,
+    unpack_bits,
+)
 from repro.utils.rng import derive_rng
 
 
@@ -72,6 +78,26 @@ class TestRoundTrip:
         with pytest.raises(ValueError, match="does not fit"):
             pack_bits(np.array([8]), 3)
 
+    def test_negative_values_rejected(self):
+        """-1 must not wrap through the unsigned conversion (it used to
+        surface as 'value 18446744073709551615 does not fit in 3 bits')."""
+        with pytest.raises(ValueError, match="non-negative"):
+            pack_bits(np.array([0, -1, 3]), 3)
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_float_dtypes_rejected(self, dtype):
+        """Floats must not be silently truncated."""
+        with pytest.raises(TypeError, match="integer array"):
+            pack_bits(np.array([1.5, 2.0], dtype=dtype), 3)
+
+    def test_float_list_rejected(self):
+        with pytest.raises(TypeError, match="integer array"):
+            pack_bits([0.5, 1.0], 3)
+
+    def test_bool_values_accepted(self):
+        values = np.array([True, False, True, True])
+        assert unpack_bits(pack_bits(values, 1), 1, 4).tolist() == [1, 0, 1, 1]
+
     def test_short_buffer_rejected(self):
         with pytest.raises(ValueError, match="need"):
             unpack_bits(b"\x00", 8, 5)
@@ -130,3 +156,32 @@ class TestRandomizedRoundTrip:
             values = np.full(4096, value, dtype=np.int64)
             recovered = unpack_bits(pack_bits(values, bits), bits, values.size)
             np.testing.assert_array_equal(recovered, values)
+
+
+class TestFastPathEquivalence:
+    """The grouped fast path must emit byte-identical streams to the
+    bit-matrix reference at every width, so archives written before the
+    vectorization load unchanged (and vice versa)."""
+
+    @pytest.mark.parametrize("bits", range(1, 17))
+    def test_pack_matches_reference(self, bits):
+        rng = derive_rng(20260807, "bitpack-fast-pack", bits)
+        for count in (0, 1, 2, 7, 8, 9, 63, 64, 65, 1000):
+            values = rng.integers(0, 1 << bits, size=count)
+            packed = pack_bits(values, bits)
+            reference = _pack_bits_bitmatrix(
+                np.ascontiguousarray(values, dtype=np.uint64), bits
+            )
+            assert packed == reference, f"bits={bits} count={count}"
+
+    @pytest.mark.parametrize("bits", range(1, 17))
+    def test_unpack_matches_reference(self, bits):
+        rng = derive_rng(20260807, "bitpack-fast-unpack", bits)
+        for count in (0, 1, 2, 7, 8, 9, 63, 64, 65, 1000):
+            values = rng.integers(0, 1 << bits, size=count)
+            packed = pack_bits(values, bits)
+            raw = np.frombuffer(packed, dtype=np.uint8)
+            recovered = unpack_bits(packed, bits, count)
+            reference = _unpack_bits_bitmatrix(raw, bits, count)
+            np.testing.assert_array_equal(recovered, reference)
+            assert recovered.dtype == np.int64

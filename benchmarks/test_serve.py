@@ -1,0 +1,192 @@
+"""Serving-layer benchmarks: request latency, micro-batch throughput, swap cost.
+
+Measures the end-to-end serving path the paper's latency argument is about:
+compressed-representation inference behind the micro-batching queue of
+:mod:`repro.serve`.  Three numbers matter:
+
+* **sequential latency** — one request at a time through the batcher
+  (batch size 1, the queue's floor);
+* **concurrent throughput** — a burst of clients sharing kernel forwards
+  through the micro-batcher, plus the mean fused batch size it achieved;
+* **hot-swap cost** — wall time of an atomic registry reload, the pause-free
+  redeploy path.
+
+``test_record_bench_serve_json`` writes ``BENCH_serve.json`` to
+``benchmarks/results/`` (own ``perf_counter`` timings, so it records under
+``--benchmark-disable``); ``scripts/check_bench.py`` schema-checks it, and
+the committed baseline lives at ``benchmarks/BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from benchmarks.conftest import _smoke_mode
+from repro import obs
+from repro.core.model_quantizer import quantize_model
+from repro.core.serialization import save_quantized_model
+from repro.models import build_model, get_config
+from repro.serve import AdmissionController, MicroBatcher, ModelRegistry
+
+CONFIG_NAME = "tiny-bert-base"
+#: Client threads x requests per client for the throughput burst.
+CLIENTS = 4 if _smoke_mode() else 8
+REQUESTS_PER_CLIENT = 4 if _smoke_mode() else 16
+SEQUENTIAL_REQUESTS = 5 if _smoke_mode() else 20
+
+
+@pytest.fixture(scope="module")
+def archive(tmp_path_factory):
+    model = build_model(get_config(CONFIG_NAME), task="encoder", rng=0)
+    quantized = quantize_model(model, weight_bits=3, embedding_bits=4)
+    path = tmp_path_factory.mktemp("serve_bench") / "model.npz"
+    save_quantized_model(quantized, path)
+    return path
+
+
+@pytest.fixture
+def registry(archive):
+    registry = ModelRegistry()
+    registry.register("bench", archive, config=CONFIG_NAME)
+    yield registry
+    registry.close()
+
+
+def make_batcher(registry, window=0.02, max_batch=16):
+    admission = AdmissionController(max_pending=256, request_timeout=60.0)
+    return MicroBatcher(registry, admission,
+                        batch_window=window, max_batch=max_batch)
+
+
+def _sequential_seconds(batcher, requests: int) -> float:
+    durations = []
+    for index in range(requests):
+        start = time.perf_counter()
+        pending = batcher.submit("bench", [1 + index % 7, 2, 3, 4])
+        batcher.wait(pending)
+        durations.append(time.perf_counter() - start)
+    return min(durations)
+
+
+def _burst(batcher, clients: int, per_client: int):
+    """(wall seconds, mean fused batch size) for a concurrent burst."""
+    barrier = threading.Barrier(clients + 1)
+    errors = []
+
+    def client(index):
+        barrier.wait()
+        for request in range(per_client):
+            try:
+                pending = batcher.submit(
+                    "bench", [1 + (index + request) % 7, 2, 3, 4]
+                )
+                batcher.wait(pending)
+            except Exception as exc:  # noqa: BLE001 — recorded, not raised
+                errors.append(exc)
+
+    threads = [threading.Thread(target=client, args=(i,)) for i in range(clients)]
+    for thread in threads:
+        thread.start()
+    with obs.scope() as trace:
+        barrier.wait()
+        start = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - start
+    assert not errors, errors[0]
+    batch_sizes = [
+        event["attrs"]["batch_size"] for event in trace.events
+        if event["event"] == "span" and event["name"] == "serve.batch"
+    ]
+    assert sum(batch_sizes) == clients * per_client
+    mean_batch = sum(batch_sizes) / len(batch_sizes)
+    return wall, mean_batch, max(batch_sizes)
+
+
+def test_bench_sequential_request(benchmark, registry):
+    batcher = make_batcher(registry, window=0.0)  # no fusion window: floor
+    try:
+        def one():
+            pending = batcher.submit("bench", [1, 2, 3, 4])
+            return batcher.wait(pending)
+
+        result = benchmark(one)
+        assert result["batch_size"] == 1
+    finally:
+        batcher.close()
+
+
+def test_bench_registry_reload(benchmark, registry):
+    entry = benchmark.pedantic(
+        lambda: registry.reload("bench"), rounds=3, iterations=1
+    )
+    assert entry.version > 1
+
+
+def test_record_bench_serve_json(results_dir, registry):
+    """Record the BENCH_serve.json baseline (see module docstring)."""
+    measurements = {}
+
+    floor_batcher = make_batcher(registry, window=0.0)
+    try:
+        best = _sequential_seconds(floor_batcher, SEQUENTIAL_REQUESTS)
+        measurements["sequential_request_seconds"] = best
+    finally:
+        floor_batcher.close()
+
+    batcher = make_batcher(registry, window=0.02, max_batch=16)
+    try:
+        wall, mean_batch, max_batch = _burst(batcher, CLIENTS, REQUESTS_PER_CLIENT)
+        total = CLIENTS * REQUESTS_PER_CLIENT
+        measurements["concurrent_wall_seconds"] = wall
+        measurements["concurrent_requests_per_second"] = total / wall
+        measurements["mean_batch_size"] = mean_batch
+        measurements["max_batch_size"] = max_batch
+    finally:
+        batcher.close()
+
+    start = time.perf_counter()
+    registry.reload("bench")
+    measurements["reload_seconds"] = time.perf_counter() - start
+
+    record = {
+        "schema": "bench-serve/v1",
+        "smoke": _smoke_mode(),
+        "config": {
+            "model": CONFIG_NAME,
+            "clients": CLIENTS,
+            "requests_per_client": REQUESTS_PER_CLIENT,
+            "batch_window_ms": 20,
+            "max_batch": 16,
+        },
+        "measurements": measurements,
+    }
+    out = results_dir / "BENCH_serve.json"
+    out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(
+        f"\n[written to benchmarks/results/BENCH_serve.json] "
+        f"{measurements['concurrent_requests_per_second']:.0f} req/s, "
+        f"mean batch {mean_batch:.2f}"
+    )
+
+    # Micro-batching must actually fuse under a concurrent burst — the
+    # subsystem's reason to exist.  check_bench.py gates the recorded file
+    # the same way.
+    assert measurements["max_batch_size"] > 1, (
+        f"no request fusion observed (max batch {measurements['max_batch_size']})"
+    )
+
+
+def test_bench_serve_json_is_fresh(results_dir):
+    import os
+
+    if os.environ.get("PYTEST_XDIST_WORKER"):
+        pytest.skip("ordering not guaranteed under xdist")
+    path = results_dir / "BENCH_serve.json"
+    assert path.exists(), "test_record_bench_serve_json did not run first"
+    record = json.loads(path.read_text())
+    assert record["schema"] == "bench-serve/v1"

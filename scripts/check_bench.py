@@ -1,16 +1,23 @@
 #!/usr/bin/env python
-"""Schema-check a BENCH_kernels.json record and enforce the perf gate.
+"""Schema-check a BENCH_*.json record and enforce its perf gate.
 
 Usage::
 
     python scripts/check_bench.py benchmarks/results/BENCH_kernels.json
+    python scripts/check_bench.py benchmarks/results/BENCH_serve.json
 
-Validates the ``bench-kernels/v1`` schema (every measurement present,
-positive, and finite) and fails — exit code 1 — if the lookup kernel falls
-below 1.0x the dequantize-then-matmul baseline at batch 1, the paper's
-latency scenario.  Batch-8 throughput is recorded but not gated: with a
-prepared decode amortized over many rows, BLAS on the dequantized matrix
-wins, and the record documents that crossover honestly.
+The record's ``schema`` field selects the contract:
+
+* ``bench-kernels/v1`` — every measurement present, positive and finite;
+  fails (exit 1) if the lookup kernel falls below 1.0x the
+  dequantize-then-matmul baseline at batch 1, the paper's latency scenario.
+  Batch-8 throughput is recorded but not gated: with a prepared decode
+  amortized over many rows, BLAS on the dequantized matrix wins, and the
+  record documents that crossover honestly.
+* ``bench-serve/v1`` — serving-layer numbers; fails if the micro-batcher
+  never fused concurrent requests (max batch size 1) or fused beyond its
+  configured bound.  Absolute request rates are recorded, not gated —
+  they are hardware-dependent; fusion is a correctness property.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ import sys
 from pathlib import Path
 
 SCHEMA = "bench-kernels/v1"
+SERVE_SCHEMA = "bench-serve/v1"
 GATE_SPEEDUP_BATCH1 = 1.0
 
 REQUIRED_MEASUREMENTS = (
@@ -41,6 +49,18 @@ REQUIRED_LAZY = (
     "bytes_touched_first_layer",
 )
 REQUIRED_CONFIG = ("shape", "bits", "batch_sizes", "repeats")
+
+REQUIRED_SERVE_MEASUREMENTS = (
+    "sequential_request_seconds",
+    "concurrent_wall_seconds",
+    "concurrent_requests_per_second",
+    "mean_batch_size",
+    "max_batch_size",
+    "reload_seconds",
+)
+REQUIRED_SERVE_CONFIG = (
+    "model", "clients", "requests_per_client", "batch_window_ms", "max_batch",
+)
 
 
 def fail(message: str) -> None:
@@ -65,8 +85,12 @@ def check(path: Path) -> int:
     except json.JSONDecodeError as exc:
         fail(f"{path} is not valid JSON: {exc}")
 
-    if record.get("schema") != SCHEMA:
-        fail(f"schema mismatch: expected {SCHEMA!r}, got {record.get('schema')!r}")
+    schema = record.get("schema")
+    if schema == SERVE_SCHEMA:
+        return check_serve(record, path)
+    if schema != SCHEMA:
+        fail(f"schema mismatch: expected {SCHEMA!r} or {SERVE_SCHEMA!r}, "
+             f"got {schema!r}")
     if not isinstance(record.get("smoke"), bool):
         fail("missing boolean 'smoke' field")
     config = record.get("config")
@@ -106,6 +130,42 @@ def check(path: Path) -> int:
         f"unpack {measurements['unpack_values_per_second'] / 1e6:.0f}M values/s, "
         f"lazy load touched {lazy['bytes_touched_at_load']} of "
         f"{lazy['archive_bytes']} archive bytes"
+    )
+    return 0
+
+
+def check_serve(record: dict, path: Path) -> int:
+    if not isinstance(record.get("smoke"), bool):
+        fail("missing boolean 'smoke' field")
+    config = record.get("config")
+    if not isinstance(config, dict):
+        fail("missing 'config' object")
+    for key in REQUIRED_SERVE_CONFIG:
+        if key not in config:
+            fail(f"config.{key} missing")
+    measurements = record.get("measurements")
+    if not isinstance(measurements, dict):
+        fail("missing 'measurements' object")
+    for key in REQUIRED_SERVE_MEASUREMENTS:
+        positive_number(measurements, key, "measurements")
+
+    mean_batch = measurements["mean_batch_size"]
+    max_batch = measurements["max_batch_size"]
+    if max_batch <= 1:
+        fail("micro-batcher never fused concurrent requests "
+             f"(max batch size {max_batch:g})")
+    if max_batch > config["max_batch"]:
+        fail(f"recorded max batch {max_batch:g} exceeds the configured "
+             f"bound {config['max_batch']}")
+    if mean_batch > max_batch:
+        fail(f"mean batch {mean_batch:g} exceeds max batch {max_batch:g}")
+    print(
+        f"check_bench: OK: {path} ({config['model']}, smoke={record['smoke']}) — "
+        f"{measurements['concurrent_requests_per_second']:.0f} req/s across "
+        f"{config['clients']} clients, mean batch {mean_batch:.2f} "
+        f"(max {max_batch:g}), sequential "
+        f"{measurements['sequential_request_seconds'] * 1000:.1f}ms, reload "
+        f"{measurements['reload_seconds'] * 1000:.0f}ms"
     )
     return 0
 

@@ -15,10 +15,14 @@ Subcommands::
     python -m repro verify-archive a.npz b.npz      # classify archives on disk
     python -m repro profile run.jsonl         # replay a trace as tables
     python -m repro profile --check run.jsonl # schema-validate only (CI)
+    python -m repro serve --model tiny=model.npz    # micro-batched HTTP serving
+    python -m repro serve --model a=a.npz --model b=b.npz --port 8080
 
 A durable ``quantize`` run exits 0 on completion, 75
 (:data:`repro.jobs.signals.EXIT_INTERRUPTED`) after a graceful SIGINT/SIGTERM
 drain (rerun with ``--resume``), and ``128+signum`` on a second signal.
+``serve`` follows the same signal contract: the first SIGINT/SIGTERM drains
+in-flight requests and exits 75.
 """
 
 from __future__ import annotations
@@ -198,6 +202,61 @@ def _cmd_quantize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_model_spec(spec: str) -> tuple[str, str, str | None]:
+    """``name=path[:config]`` → (name, path, config or None)."""
+    name, _, rest = spec.partition("=")
+    if not name or not rest:
+        raise ValueError(f"--model expects name=path[:config], got {spec!r}")
+    path, sep, config = rest.rpartition(":")
+    if sep and config and "/" not in config and not config.endswith(".npz"):
+        return name, path, config
+    return name, rest, None
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.errors import ReproError
+    from repro.serve.server import run_server
+
+    try:
+        specs = [_parse_model_spec(spec) for spec in args.model]
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    models = {name: (path, config) for name, path, config in specs}
+    if len(models) != len(specs):
+        print("duplicate model names in --model", file=sys.stderr)
+        return 2
+
+    sinks: list = []
+    trace_sink = None
+    if args.trace:
+        trace_sink = obs.JsonlSink(args.trace)
+        sinks.append(trace_sink)
+    for sink in sinks:
+        obs.install(sink)
+    try:
+        return run_server(
+            models,
+            host=args.host,
+            port=args.port,
+            batch_window=args.batch_window / 1000.0,
+            max_batch=args.max_batch,
+            max_pending=args.max_pending,
+            request_timeout=args.request_timeout,
+            verify=args.verify,
+        )
+    except (ReproError, OSError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    finally:
+        for sink in sinks:
+            obs.uninstall(sink)
+            sink.close()
+        if trace_sink is not None:
+            print(f"trace written: {trace_sink.path} ({trace_sink.lines} events)")
+
+
 def _cmd_jobs_status(args: argparse.Namespace) -> int:
     from repro.errors import JobStateError
     from repro.jobs.runner import job_status, render_status
@@ -347,6 +406,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="only validate the trace against the event schema (exit 1 on violation)",
     )
     profile.set_defaults(func=_cmd_profile)
+    serve = sub.add_parser(
+        "serve",
+        help="serve quantized archives over HTTP: micro-batched lookup-kernel "
+             "inference with hot-swap reload",
+    )
+    serve.add_argument(
+        "--model", action="append", required=True, metavar="NAME=PATH[:CONFIG]",
+        help="archive to serve as NAME; CONFIG is a zoo config name, inferred "
+             "from the archive's FC census when omitted (repeatable)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8080, help="bind port (0 = ephemeral)")
+    serve.add_argument(
+        "--batch-window", type=float, default=5.0, metavar="MS",
+        help="micro-batch collection window in milliseconds (default 5)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=8,
+        help="max requests fused into one kernel forward (default 8)",
+    )
+    serve.add_argument(
+        "--max-pending", type=int, default=64,
+        help="admission bound on queued requests; beyond it requests get "
+             "429 + Retry-After (default 64)",
+    )
+    serve.add_argument(
+        "--request-timeout", type=float, default=10.0, metavar="S",
+        help="per-request deadline in seconds; expiry returns 504 (default 10)",
+    )
+    serve.add_argument(
+        "--verify", default="lazy", choices=("none", "lazy", "full"),
+        help="archive integrity level: per-member CRC on first access "
+             "('lazy', default), whole-archive checksum up front ('full'), "
+             "or none",
+    )
+    serve.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write an observability trace (JSONL) of the serving run to PATH",
+    )
+    serve.set_defaults(func=_cmd_serve)
     verify = sub.add_parser(
         "verify-archive",
         help="classify archives: ok / missing / truncated / checksum-mismatch / version-unknown",

@@ -23,18 +23,26 @@ from __future__ import annotations
 import mmap
 import struct
 import zipfile
+import zlib
 from io import BytesIO
 from pathlib import Path
 
 import numpy as np
 from numpy.lib import format as _npformat
 
-from repro.errors import SerializationError, TruncatedArchiveError
+from repro.errors import (
+    ChecksumMismatchError,
+    SerializationError,
+    TruncatedArchiveError,
+)
 from repro.obs import recorder as obs
 
 #: Fixed portion of a zip local file header (PK\x03\x04 ... extra-len).
 _LOCAL_HEADER = struct.Struct("<4sHHHHHIIIHH")
 _LOCAL_MAGIC = b"PK\x03\x04"
+#: .npy member prefix: 6-byte magic + 2 version bytes.
+_NPY_MAGIC = b"\x93NUMPY"
+_NPY_MAGIC_LEN = len(_NPY_MAGIC) + 2
 
 
 class MmapNpzReader:
@@ -45,10 +53,19 @@ class MmapNpzReader:
     copy), otherwise an eagerly decoded array.  The reader (and its map)
     must outlive every view it hands out; ``close()`` is best-effort and
     leaves the map open while views still reference it.
+
+    With ``verify=True`` every member's bytes are checked against the zip
+    central directory's CRC-32 the first time it is read — the per-member
+    integrity check the mmap fast path otherwise bypasses (``zipfile``
+    verifies CRCs only on its own decode path).  A mismatch raises
+    :class:`~repro.errors.ChecksumMismatchError`, so bit rot in a lazily
+    served archive surfaces as an error instead of silently wrong logits.
     """
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(self, path: str | Path, verify: bool = False) -> None:
         self.path = Path(path)
+        self.verify = verify
+        self._verified: set[str] = set()
         if not self.path.exists():
             raise SerializationError(f"no such archive: {self.path}")
         self._file = open(self.path, "rb")
@@ -81,16 +98,27 @@ class MmapNpzReader:
         if info is None:
             raise KeyError(key)
         if info.compress_type == zipfile.ZIP_STORED:
-            array = self._read_stored(info)
+            data = self._member_data(info)
+            if self.verify and key not in self._verified:
+                self._verify_member(info, data)
+                self._verified.add(key)
+            array = self._parse_npy(info, data)
         else:
             # Compressed member: no contiguous bytes to map; decode eagerly.
-            array = np.load(BytesIO(self._zip.read(info.filename)))
+            # zipfile checks the member CRC itself on this path.
+            try:
+                raw = self._zip.read(info.filename)
+            except zipfile.BadZipFile as exc:
+                raise ChecksumMismatchError(
+                    f"archive {self.path} member {info.filename!r} is corrupt ({exc})"
+                ) from exc
+            array = np.load(BytesIO(raw))
         obs.counter("npzmap.members_read")
         obs.counter("npzmap.bytes_mapped", int(array.nbytes))
         return array
 
-    def _read_stored(self, info: zipfile.ZipInfo) -> np.ndarray:
-        """View a stored member's array data directly in the map.
+    def _member_data(self, info: zipfile.ZipInfo) -> memoryview:
+        """The raw stored bytes of ``info`` as a view over the map.
 
         The central directory records where the member's *local header*
         starts; the data offset follows the local header, whose name/extra
@@ -107,19 +135,58 @@ class MmapNpzReader:
         name_len, extra_len = fields[9], fields[10]
         data_start = start + _LOCAL_HEADER.size + name_len + extra_len
         data = memoryview(self._mmap)[data_start : data_start + info.file_size]
+        if len(data) < info.file_size:
+            raise TruncatedArchiveError(
+                f"archive {self.path}: member {info.filename!r} extends past "
+                f"the end of the file"
+            )
+        return data
 
-        # Parse the .npy header from the member prefix, then view the rest.
-        prefix = BytesIO(bytes(data[: min(len(data), 4096)]))
+    def _verify_member(self, info: zipfile.ZipInfo, data: memoryview) -> None:
+        """Check ``data`` against the central directory's CRC-32."""
+        actual = zlib.crc32(data)
+        if actual != info.CRC:
+            raise ChecksumMismatchError(
+                f"archive {self.path} member {info.filename!r} failed CRC "
+                f"verification: recorded {info.CRC:#010x}, computed {actual:#010x}"
+            )
+        obs.counter("npzmap.members_verified")
+
+    def _parse_npy(self, info: zipfile.ZipInfo, data: memoryview) -> np.ndarray:
+        """Parse the .npy header in ``data`` and view the array that follows.
+
+        The header is sliced exactly: the npy format's own header-length
+        field says where the array data begins, so headers longer than any
+        fixed prefix (huge structured dtypes, deeply padded dicts) parse
+        correctly instead of failing inside numpy on a truncated buffer.
+        """
+        if len(data) < _NPY_MAGIC_LEN or bytes(data[: len(_NPY_MAGIC)]) != _NPY_MAGIC:
+            raise SerializationError(
+                f"archive member {info.filename!r} is not a .npy file"
+            )
+        major, minor = data[6], data[7]
+        if (major, minor) == (1, 0):
+            (header_len,) = struct.unpack("<H", data[8:10])
+            header_end = 10 + header_len
+        elif (major, minor) == (2, 0):
+            (header_len,) = struct.unpack("<I", data[8:12])
+            header_end = 12 + header_len
+        else:
+            raise SerializationError(
+                f"archive member {info.filename!r} uses npy format "
+                f"{major}.{minor}; this mapper supports 1.0 and 2.0"
+            )
+        if header_end > len(data):
+            raise TruncatedArchiveError(
+                f"archive member {info.filename!r} declares a {header_len}-byte "
+                f"header but only {len(data)} bytes are stored"
+            )
+        prefix = BytesIO(bytes(data[:header_end]))
         version = _npformat.read_magic(prefix)
         if version == (1, 0):
             shape, fortran_order, dtype = _npformat.read_array_header_1_0(prefix)
-        elif version == (2, 0):
-            shape, fortran_order, dtype = _npformat.read_array_header_2_0(prefix)
         else:
-            raise SerializationError(
-                f"archive member {info.filename!r} uses npy format {version}; "
-                "this mapper supports 1.0 and 2.0"
-            )
+            shape, fortran_order, dtype = _npformat.read_array_header_2_0(prefix)
         if dtype.hasobject:
             raise SerializationError(
                 f"archive member {info.filename!r} stores objects; refusing to map"
@@ -131,15 +198,23 @@ class MmapNpzReader:
 
     # ------------------------------------------------------------------- close
     def close(self) -> None:
-        """Close the zip and, if no views remain, the map and file."""
+        """Close the zip and file; the map too unless views still hold it.
+
+        ``mmap`` dups the file descriptor at construction, so the file
+        object can — and must — be closed unconditionally: live views keep
+        the *map* (and its dup'd descriptor) alive, not the Python file.  A
+        long-lived process that reopens archives (a serving registry
+        hot-swapping models) would otherwise leak one fd per reload
+        whenever any view of the old map was still referenced.
+        """
         self._zip.close()
+        self._file.close()
         try:
             self._mmap.close()
         except BufferError:
-            # Live views still reference the map; it is released when the
-            # last view is garbage collected.
-            return
-        self._file.close()
+            # Live views still reference the map; its pages and dup'd fd
+            # are released when the last view is garbage collected.
+            pass
 
     def __enter__(self) -> "MmapNpzReader":
         return self

@@ -226,10 +226,21 @@ class LazyQuantizedTensors(MappingABC):
     def __len__(self) -> int:
         return len(self._metas)
 
+    def close(self) -> None:
+        """Release the underlying archive map.
 
-def _load_lazy(path: Path) -> QuantizedModel:
+        The serving registry calls this when a hot-swapped model drains: the
+        archive's file descriptor closes immediately; the map itself lingers
+        only while already-materialized code views are alive (see
+        :meth:`MmapNpzReader.close`).  Tensors decoded before the close stay
+        usable; new layer accesses will fail.
+        """
+        self._reader.close()
+
+
+def _load_lazy(path: Path, verify: str) -> QuantizedModel:
     """The ``lazy=True`` body of :func:`load_quantized_model`."""
-    reader = MmapNpzReader(path)
+    reader = MmapNpzReader(path, verify=(verify == "lazy"))
     obs.counter("serialization.archives_read_lazy")
     keys = set(reader.keys())
     version = 1
@@ -240,11 +251,19 @@ def _load_lazy(path: Path) -> QuantizedModel:
             f"archive {path} has format version {version}; "
             f"this reader supports 1..{FORMAT_VERSION}"
         )
-    # NOTE: the version-3 content checksum is deliberately NOT verified on
-    # the lazy path — verifying would read every byte of the archive, which
-    # is exactly what lazy loading exists to avoid.  Zip per-member CRCs
-    # are likewise bypassed by the mmap views.  Run verify_archive() (or an
-    # eager load) when integrity matters more than bytes touched.
+    if verify == "full":
+        # Every byte is read and digested before anything is served — the
+        # eager guarantee at the eager cost, but codes still stay views.
+        arrays = {key: reader.read(key) for key in keys}
+        if version >= 3:
+            _verify_checksum(arrays, path)
+    # With verify="none" the version-3 content checksum is NOT verified —
+    # verifying would read every byte of the archive, which is exactly what
+    # lazy loading exists to avoid — and zip per-member CRCs are likewise
+    # bypassed by the mmap views.  verify="lazy" (the serving default)
+    # closes that gap per member: each member's bytes are CRC-checked on
+    # first access, so bit rot surfaces as ChecksumMismatchError at the
+    # first touch instead of as silently wrong logits.
     names = {
         key.split("::", 2)[1]
         for key in keys
@@ -278,7 +297,9 @@ def _load_lazy(path: Path) -> QuantizedModel:
     )
 
 
-def load_quantized_model(path: str | Path, lazy: bool = False) -> QuantizedModel:
+def load_quantized_model(
+    path: str | Path, lazy: bool = False, verify: str | None = None
+) -> QuantizedModel:
     """Read a :class:`QuantizedModel` written by :func:`save_quantized_model`.
 
     Archives are loaded with ``allow_pickle=False`` (the format stores no
@@ -292,18 +313,33 @@ def load_quantized_model(path: str | Path, lazy: bool = False) -> QuantizedModel
     codes left as zero-copy views into the map (see
     :class:`LazyQuantizedTensors` and :class:`~repro.core.npzmap.
     MmapNpzReader`).  Feeding these tensors to :mod:`repro.kernels` serves
-    inference with bytes-touched proportional to the layers used — at the
-    cost of skipping checksum verification (documented in
-    :func:`_load_lazy`).
+    inference with bytes-touched proportional to the layers used.
+
+    ``verify`` selects the integrity level:
+
+    * ``"full"`` — the whole-archive SHA-256 content checksum is verified
+      up front (reads every byte).  Default for eager loads.
+    * ``"lazy"`` — each member's bytes are checked against the zip CRC-32
+      on first access, so a lazy load stays proportional to the layers
+      touched but bit rot still raises
+      :class:`~repro.errors.ChecksumMismatchError` instead of producing
+      silently wrong logits.  The serving registry's default.
+    * ``"none"`` — no verification.  Default for lazy loads (back-compat;
+      the historical documented gap).
     """
     path = Path(path)
+    if verify is None:
+        verify = "none" if lazy else "full"
+    if verify not in ("none", "lazy", "full"):
+        raise ValueError(f"verify must be 'none', 'lazy' or 'full', got {verify!r}")
     if lazy:
-        return _load_lazy(path)
+        return _load_lazy(path, verify)
     arrays = _read_archive(path)
     obs.counter("serialization.archives_read")
     obs.counter("serialization.bytes_read", path.stat().st_size)
     version = _archive_version(arrays, path)
-    if version >= 3:
+    if version >= 3 and verify != "none":
+        # Everything is in memory already, so "lazy" degenerates to "full".
         _verify_checksum(arrays, path)
     names = {
         key.split("::", 2)[1]

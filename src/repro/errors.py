@@ -78,3 +78,24 @@ class TruncatedArchiveError(SerializationError):
 class ChecksumMismatchError(SerializationError):
     """An archive's recorded checksum does not match its contents (bit rot,
     partial overwrite, or tampering)."""
+
+
+class ServeError(ReproError):
+    """Base class for errors raised by the serving layer."""
+
+
+class ModelNotFoundError(ServeError):
+    """The registry has no model under the requested name."""
+
+
+class QueueFullError(ServeError):
+    """Admission control rejected a request: the pending queue is at its
+    bound.  Carries ``retry_after`` (seconds) for the 429 response header."""
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class RequestTimeoutError(ServeError):
+    """A request's deadline expired before its batch completed (504)."""

@@ -173,6 +173,7 @@ class LookupKernel:
 
         if self.in_features and self.out_features and self.tensor.total_count:
             segment_values = self._segment_values.astype(dtype, copy=False)
+            outlier_values = self._outlier_values.astype(dtype, copy=False)
             chunk = max(1, _CHUNK_ELEMENTS // max(self.out_features * self.in_features, 1))
             for start in range(0, rows, chunk):
                 stop = min(start + chunk, rows)
@@ -181,12 +182,16 @@ class LookupKernel:
                     gathered.reshape(stop - start, -1), self._segment_starts, axis=1
                 )
                 sums *= segment_values
-                y[start:stop] = np.add.reduceat(sums, self._row_starts, axis=1)
-            if self._outlier_values.size:
-                corrections = x2[:, self._outlier_cols] * self._outlier_values.astype(
-                    dtype, copy=False
-                )
-                np.add.at(y, (slice(None), self._outlier_rows), corrections)
+                y_chunk = y[start:stop]
+                y_chunk[:] = np.add.reduceat(sums, self._row_starts, axis=1)
+                # The outlier correction lives inside the chunk loop so its
+                # gather temporary is bounded by the same _CHUNK_ELEMENTS
+                # budget as the code gather — a batch-wide gather on an
+                # outlier-heavy layer would allocate rows x n_outliers
+                # floats regardless of chunking.
+                if outlier_values.size:
+                    corrections = x2[start:stop, self._outlier_cols] * outlier_values
+                    np.add.at(y_chunk, (slice(None), self._outlier_rows), corrections)
 
         obs.counter("kernels.lookup_matmul_calls")
         obs.counter("kernels.lookup_matmul_rows", rows)

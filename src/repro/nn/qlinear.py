@@ -63,13 +63,18 @@ class QuantizedLinear(Module):
 
     @classmethod
     def from_linear(cls, linear: Module, tensor: GoboQuantizedTensor) -> "QuantizedLinear":
-        """Build from an existing :class:`~repro.nn.Linear`, keeping its bias."""
+        """Build from an existing :class:`~repro.nn.Linear`, keeping its bias.
+
+        A bias-free layer (``linear.bias is None``, as in some projection
+        heads) falls back to the zero bias the constructor supplies.
+        """
         if tuple(tensor.shape) != tuple(linear.weight.shape):
             raise ShapeError(
                 f"quantized tensor shape {tensor.shape} does not match "
                 f"Linear weight shape {tuple(linear.weight.shape)}"
             )
-        return cls(tensor, bias=linear.bias.data.copy())
+        bias = getattr(linear, "bias", None)
+        return cls(tensor, bias=None if bias is None else bias.data.copy())
 
     def forward(self, x: Tensor) -> Tensor:
         if self.training:

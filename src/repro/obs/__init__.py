@@ -60,7 +60,7 @@ from repro.obs.recorder import (
     uninstall,
     use_context,
 )
-from repro.obs.sinks import JsonlSink, MemorySink, Sink, SummarySink
+from repro.obs.sinks import JsonlSink, MemorySink, Sink, SnapshotSink, SummarySink
 
 __all__ = [
     "EVENT_TYPES",
@@ -100,5 +100,6 @@ __all__ = [
     "JsonlSink",
     "MemorySink",
     "Sink",
+    "SnapshotSink",
     "SummarySink",
 ]

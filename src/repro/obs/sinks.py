@@ -55,6 +55,29 @@ class MemorySink:
         return len(self.events)
 
 
+class SnapshotSink:
+    """Aggregates into a :class:`MetricsSnapshot` without retaining events.
+
+    :class:`MemorySink` keeps every event — right for tests and bounded
+    runs, wrong for a long-lived server where the list grows without limit.
+    This sink keeps only the running aggregate, so memory is O(metric
+    names), not O(events); the serving layer's ``/metrics`` endpoint reads
+    it for the process lifetime.
+    """
+
+    def __init__(self):
+        self._snapshot = MetricsSnapshot()
+
+    def emit(self, event: dict) -> None:
+        self._snapshot.ingest(event)
+
+    def close(self) -> None:
+        pass
+
+    def snapshot(self) -> MetricsSnapshot:
+        return self._snapshot
+
+
 class JsonlSink:
     """Appends each event as one JSON line to a file (the ``--trace`` format).
 

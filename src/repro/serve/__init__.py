@@ -1,0 +1,33 @@
+"""Serving layer: compressed-representation inference behind HTTP.
+
+The GOBO argument is about *serving*: latency and energy at inference time,
+on weights that never leave their compressed form.  This package is the
+system-level realization over the repo's software kernels —
+
+* :mod:`repro.serve.registry` — named, hot-swappable models loaded lazily
+  from checksummed archives (``verify="lazy"``) with lookup-kernel Linears
+  attached;
+* :mod:`repro.serve.batcher` — the micro-batching queue that amortizes one
+  kernel forward across concurrent requests;
+* :mod:`repro.serve.admission` — bounded queue depth (429 + Retry-After)
+  and per-request deadlines (504);
+* :mod:`repro.serve.server` — the stdlib ``ThreadingHTTPServer`` JSON front
+  and the ``repro serve`` entrypoint with graceful drain (exit 75).
+
+See DESIGN.md §5f.
+"""
+
+from repro.serve.admission import AdmissionController
+from repro.serve.batcher import MicroBatcher, PendingRequest
+from repro.serve.registry import ModelEntry, ModelRegistry
+from repro.serve.server import QuantServer, run_server
+
+__all__ = [
+    "AdmissionController",
+    "MicroBatcher",
+    "ModelEntry",
+    "ModelRegistry",
+    "PendingRequest",
+    "QuantServer",
+    "run_server",
+]

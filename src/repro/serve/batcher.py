@@ -1,0 +1,279 @@
+"""Micro-batching queue: amortize lookup-kernel forwards across requests.
+
+The lookup kernels are batch-oriented — one ``np.add.reduceat`` sweep costs
+nearly the same for 1 row as for 16 (the gather dominates, and the prepared
+permutation is reused) — so a serving path that forwards each HTTP request
+alone leaves most of the kernel's throughput on the floor.
+:class:`MicroBatcher` collects concurrent requests for up to
+``batch_window`` seconds (or ``max_batch`` items, whichever comes first),
+pads them into one ``(batch, seq)`` tensor with an attention mask, runs a
+single model forward per model, and fans the pooled outputs back to the
+waiting handler threads.
+
+Threading contract:
+
+* HTTP handler threads call :meth:`submit` (admission-gated, non-blocking)
+  then :meth:`wait` (blocks until the batch completes or the request's
+  deadline expires → :class:`~repro.errors.RequestTimeoutError`).
+* One worker thread drains the queue.  A single worker serializes forwards
+  deliberately: NumPy kernels are already multi-core via BLAS-free
+  vectorized sweeps, and one-at-a-time batches keep per-request latency
+  predictable.
+* Spans: the handler's ``serve.request`` span wraps :meth:`wait`, which
+  nests ``serve.queue_wait`` (admission → batch start, measured on the
+  handler thread).  The worker emits ``serve.batch`` under the span context
+  captured from the batch's first request (see
+  :func:`repro.obs.recorder.capture_context`), so batch timings attach to
+  the trace tree rather than floating parentless.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+import numpy as np
+
+from repro.errors import RequestTimeoutError, ServeError
+from repro.obs import recorder as obs
+from repro.serve.admission import AdmissionController
+from repro.serve.registry import ModelRegistry
+
+
+class PendingRequest:
+    """One admitted request traveling from handler thread to worker and back."""
+
+    __slots__ = (
+        "model", "input_ids", "token_type_ids", "context", "admitted_at",
+        "deadline", "started", "done", "lock", "abandoned", "result", "error",
+    )
+
+    def __init__(self, model: str, input_ids: np.ndarray,
+                 token_type_ids: np.ndarray | None, deadline: float):
+        self.model = model
+        self.input_ids = input_ids
+        self.token_type_ids = token_type_ids
+        self.context = obs.capture_context()
+        self.admitted_at = time.perf_counter()
+        self.deadline = deadline
+        self.started = threading.Event()
+        self.done = threading.Event()
+        self.lock = threading.Lock()
+        self.abandoned = False
+        self.result: dict | None = None
+        self.error: Exception | None = None
+
+
+class MicroBatcher:
+    """Collect requests into batches; one model forward per batch per model."""
+
+    def __init__(self, registry: ModelRegistry, admission: AdmissionController,
+                 batch_window: float = 0.005, max_batch: int = 8):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if batch_window < 0:
+            raise ValueError(f"batch_window must be >= 0, got {batch_window}")
+        self.registry = registry
+        self.admission = admission
+        self.batch_window = batch_window
+        self.max_batch = max_batch
+        self._queue: deque[PendingRequest] = deque()
+        self._not_empty = threading.Condition()
+        self._stop = False
+        self._worker = threading.Thread(
+            target=self._run, name="repro-serve-batcher", daemon=True
+        )
+        self._worker.start()
+
+    # ------------------------------------------------------------ submission
+    def submit(self, model: str, input_ids, token_type_ids=None) -> PendingRequest:
+        """Validate, admit, and enqueue one request (non-blocking).
+
+        Raises :class:`~repro.errors.ModelNotFoundError` for unknown models,
+        :class:`~repro.errors.ShapeError`-free ``ValueError`` for malformed
+        inputs, :class:`~repro.errors.QueueFullError` at the admission bound,
+        and :class:`~repro.errors.ServeError` after shutdown began.
+        """
+        entry = self.registry.get(model)  # 404 before burning a queue slot
+        ids = np.asarray(input_ids)
+        if ids.ndim != 1 or ids.size == 0:
+            raise ValueError(
+                f"input_ids must be a non-empty 1-D token sequence, got shape {ids.shape}"
+            )
+        if not np.issubdtype(ids.dtype, np.integer):
+            raise ValueError(f"input_ids must be integers, got dtype {ids.dtype}")
+        if ids.size > entry.max_position:
+            raise ValueError(
+                f"sequence length {ids.size} exceeds model {model!r} "
+                f"max_position {entry.max_position}"
+            )
+        if ids.min() < 0 or ids.max() >= entry.vocab_size:
+            raise ValueError(
+                f"token ids must be in [0, {entry.vocab_size}) for model {model!r}"
+            )
+        types = None
+        if token_type_ids is not None:
+            types = np.asarray(token_type_ids)
+            if types.shape != ids.shape:
+                raise ValueError(
+                    f"token_type_ids shape {types.shape} must match "
+                    f"input_ids shape {ids.shape}"
+                )
+        self.admission.admit()
+        pending = PendingRequest(
+            model, ids.astype(np.int64), types,
+            deadline=time.perf_counter() + self.admission.request_timeout,
+        )
+        with self._not_empty:
+            if self._stop:
+                self.admission.release()
+                raise ServeError("server is shutting down")
+            self._queue.append(pending)
+            self._not_empty.notify()
+        obs.counter("serve.submitted", model=model)
+        return pending
+
+    def wait(self, pending: PendingRequest) -> dict:
+        """Block until ``pending`` completes; its deadline bounds the wait.
+
+        Call inside the handler's ``serve.request`` span: the queue wait is
+        emitted here as a nested ``serve.queue_wait`` span.
+        """
+        with obs.span("serve.queue_wait", model=pending.model):
+            pending.started.wait(max(0.0, pending.deadline - time.perf_counter()))
+        pending.done.wait(max(0.0, pending.deadline - time.perf_counter()))
+        with pending.lock:
+            if not pending.done.is_set():
+                # Handler gives up; the worker must not touch this request
+                # (and must not release its admission slot — we do, here).
+                pending.abandoned = True
+        if pending.done.is_set():
+            if pending.error is not None:
+                raise pending.error
+            assert pending.result is not None
+            return pending.result
+        self.admission.release()
+        obs.counter("serve.timeouts", model=pending.model)
+        raise RequestTimeoutError(
+            f"request deadline of {self.admission.request_timeout:.3f}s expired "
+            f"before its batch completed"
+        )
+
+    # ---------------------------------------------------------------- worker
+    def _run(self) -> None:
+        while True:
+            with self._not_empty:
+                while not self._queue and not self._stop:
+                    self._not_empty.wait(timeout=0.05)
+                if not self._queue:
+                    if self._stop:
+                        return
+                    continue
+                batch = [self._queue.popleft()]
+            window_end = time.perf_counter() + self.batch_window
+            while len(batch) < self.max_batch:
+                remaining = window_end - time.perf_counter()
+                if remaining <= 0:
+                    break
+                with self._not_empty:
+                    if not self._queue:
+                        self._not_empty.wait(timeout=remaining)
+                    if self._queue:
+                        batch.append(self._queue.popleft())
+            groups: dict[str, list[PendingRequest]] = {}
+            for pending in batch:
+                groups.setdefault(pending.model, []).append(pending)
+            for model, group in groups.items():
+                self._run_group(model, group)
+
+    def _claim(self, pending: PendingRequest) -> bool:
+        """True if the request is still live (not abandoned, not expired)."""
+        now = time.perf_counter()
+        with pending.lock:
+            if pending.abandoned:
+                return False
+            if now >= pending.deadline:
+                pending.error = RequestTimeoutError(
+                    "request expired in queue before a batch slot opened"
+                )
+                pending.done.set()
+                self.admission.release()
+                obs.counter("serve.expired_in_queue", model=pending.model)
+                return False
+        pending.started.set()
+        return True
+
+    def _complete(self, pending: PendingRequest, result: dict | None,
+                  error: Exception | None) -> None:
+        with pending.lock:
+            if pending.abandoned:
+                return  # handler timed out mid-batch and released the slot
+            pending.result = result
+            pending.error = error
+            pending.done.set()
+        self.admission.release()
+
+    def _run_group(self, model: str, group: list[PendingRequest]) -> None:
+        live = [pending for pending in group if self._claim(pending)]
+        if not live:
+            return
+        # Attach the batch span to the first member's request trace; a batch
+        # has many parents but the schema has one, and an arbitrary-but-
+        # deterministic choice beats a parentless span.
+        with obs.use_context(live[0].context):
+            with obs.span("serve.batch", model=model, batch_size=len(live)):
+                try:
+                    result_rows = self._forward(model, live)
+                    for pending, row in zip(live, result_rows):
+                        self._complete(pending, row, None)
+                except Exception as exc:  # noqa: BLE001 — fan the error out
+                    for pending in live:
+                        self._complete(pending, None, exc)
+        obs.counter("serve.batches", model=model)
+        obs.histogram("serve.batch_size", len(live), model=model)
+
+    def _forward(self, model: str, live: list[PendingRequest]) -> list[dict]:
+        lengths = [pending.input_ids.size for pending in live]
+        width = max(lengths)
+        input_ids = np.zeros((len(live), width), dtype=np.int64)
+        attention_mask = np.zeros((len(live), width), dtype=np.int64)
+        token_type_ids = np.zeros((len(live), width), dtype=np.int64)
+        for row, pending in enumerate(live):
+            size = pending.input_ids.size
+            input_ids[row, :size] = pending.input_ids
+            attention_mask[row, :size] = 1
+            if pending.token_type_ids is not None:
+                token_type_ids[row, :size] = pending.token_type_ids
+        with self.registry.lease(model) as entry:
+            _, pooled = entry.model(input_ids, attention_mask, token_type_ids)
+            version = entry.version
+        pooled_rows = np.asarray(pooled.data, dtype=np.float64)
+        now = time.perf_counter()
+        return [
+            {
+                "model": model,
+                "version": version,
+                "pooled": pooled_rows[row, :].tolist(),
+                "batch_size": len(live),
+                "latency_ms": round((now - pending.admitted_at) * 1000.0, 3),
+            }
+            for row, pending in enumerate(live)
+        ]
+
+    # -------------------------------------------------------------- shutdown
+    def close(self, drain: bool = True) -> None:
+        """Stop the worker.  ``drain=True`` finishes queued requests first;
+        ``drain=False`` fails them with :class:`ServeError`."""
+        with self._not_empty:
+            self._stop = True
+            if not drain:
+                dropped = list(self._queue)
+                self._queue.clear()
+            else:
+                dropped = []
+            self._not_empty.notify_all()
+        for pending in dropped:
+            if self._claim(pending):
+                self._complete(pending, None, ServeError("server shut down"))
+        self._worker.join(timeout=30.0)

@@ -7,6 +7,10 @@ requirement that lazy and eager loads are equivalent over the golden
 v1/v2/v3 fixtures, and that bytes-touched is observable via obs counters.
 """
 
+import gc
+import os
+import struct
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -20,13 +24,47 @@ from repro.core.serialization import (
     load_quantized_model,
     save_quantized_model,
 )
-from repro.errors import SerializationError, TruncatedArchiveError
+from repro.errors import (
+    ChecksumMismatchError,
+    SerializationError,
+    TruncatedArchiveError,
+)
 from repro.kernels import LookupKernel, dequantize_matmul
 from repro.models import BertModel, attach_quantized_linears
+from repro.testing.faults import corrupt_bytes
 from repro.testing.golden import GOLDEN_VERSIONS, golden_path, write_golden
 from tests.conftest import MICRO_CONFIG
 
 DATA_DIR = Path(__file__).resolve().parents[1] / "data"
+
+
+def member_data_offset(path: Path, member: str) -> tuple[int, int]:
+    """(data offset, data size) of a stored zip member, from its local header."""
+    with zipfile.ZipFile(path) as zf:
+        info = zf.getinfo(member)
+    raw = path.read_bytes()
+    name_len, extra_len = struct.unpack_from("<HH", raw, info.header_offset + 26)
+    return info.header_offset + 30 + name_len + extra_len, info.file_size
+
+
+def write_npy_member(path: Path, name: str, npy_bytes: bytes) -> None:
+    """A one-member ZIP_STORED archive holding raw ``npy_bytes``."""
+    with zipfile.ZipFile(path, "w", zipfile.ZIP_STORED) as zf:
+        zf.writestr(f"{name}.npy", npy_bytes)
+
+
+def npy_v1_bytes(array: np.ndarray, pad: int = 0, version: bytes = b"\x01\x00") -> bytes:
+    """Hand-rolled npy v1 encoding with ``pad`` extra header padding bytes."""
+    header = (
+        f"{{'descr': '{array.dtype.str}', 'fortran_order': False, "
+        f"'shape': {array.shape!r}, }}"
+    )
+    header = header + " " * pad
+    header = header + " " * (63 - (10 + len(header)) % 64) + "\n"
+    return (
+        b"\x93NUMPY" + version + struct.pack("<H", len(header))
+        + header.encode("latin1") + array.tobytes()
+    )
 
 
 @pytest.fixture(scope="module")
@@ -88,6 +126,139 @@ class TestMmapNpzReader:
         mapped = [e for e in trace.events if e["name"] == "npzmap.bytes_mapped"]
         assert len(mapped) == 1
         assert mapped[0]["value"] == array.nbytes
+
+
+class TestFdLifecycle:
+    """Satellite regression: close() must release the file descriptor even
+    while live views pin the map — a hot-swapping server must not leak one
+    fd per reload."""
+
+    @staticmethod
+    def count_fds() -> int:
+        return len(os.listdir("/proc/self/fd"))
+
+    def test_file_closed_even_with_live_views(self, saved_archive):
+        _, path = saved_archive
+        reader = MmapNpzReader(path)
+        key = next(k for k in reader.keys() if k.endswith("::codes"))
+        view = reader.read(key)
+        reader.close()
+        assert reader._file.closed
+        # The map's dup'd descriptor keeps the view valid after close.
+        np.testing.assert_array_equal(view, view.copy())
+
+    @pytest.mark.skipif(
+        not os.path.isdir("/proc/self/fd"), reason="needs /proc (Linux)"
+    )
+    def test_no_fd_growth_across_model_swaps(self, saved_archive):
+        _, path = saved_archive
+        gc.collect()
+        baseline = self.count_fds()
+        for _ in range(8):
+            reader = MmapNpzReader(path)
+            key = next(k for k in reader.keys() if k.endswith("::codes"))
+            view = reader.read(key)
+            # Close while the view is alive: the old buggy path returned
+            # early on BufferError and leaked reader._file forever.
+            reader.close()
+            del view, reader
+            gc.collect()
+        assert self.count_fds() <= baseline
+
+
+class TestLazyVerify:
+    """Satellite: verify="lazy" closes the documented lazy-load integrity
+    gap with per-member CRC checks on first access."""
+
+    @pytest.fixture()
+    def corrupt_archive(self, tmp_path):
+        """A golden v3 archive with one flipped byte inside the codes member."""
+        path = write_golden(tmp_path, 3)
+        offset, size = member_data_offset(path, "gobo::w::codes.npy")
+        corrupt_bytes(path, offset + size - 1)  # last data byte: the codes
+        return path
+
+    def test_corrupt_member_raises_on_first_access(self, corrupt_archive):
+        model = load_quantized_model(corrupt_archive, lazy=True, verify="lazy")
+        with pytest.raises(ChecksumMismatchError, match="CRC"):
+            model.quantized["w"]
+
+    def test_corrupt_member_silently_loads_without_verify(self, corrupt_archive):
+        # The documented historical gap, kept as the lazy default: no
+        # verification means the flipped byte decodes into wrong codes.
+        model = load_quantized_model(corrupt_archive, lazy=True)
+        tensor = model.quantized["w"]  # no error raised
+        assert tensor.shape == (4, 5)
+
+    def test_eager_load_always_catches_it(self, corrupt_archive):
+        with pytest.raises(ChecksumMismatchError):
+            load_quantized_model(corrupt_archive)
+
+    def test_intact_members_still_load_lazily(self, corrupt_archive):
+        """Only the corrupt member fails; fp32/meta members verify clean."""
+        model = load_quantized_model(corrupt_archive, lazy=True, verify="lazy")
+        np.testing.assert_allclose(model.fp32["bias"], [0.0, 0.25, 0.5, 0.75, 1.0])
+
+    def test_verify_full_on_lazy_load(self, corrupt_archive, tmp_path):
+        with pytest.raises(ChecksumMismatchError):
+            load_quantized_model(corrupt_archive, lazy=True, verify="full")
+        clean = write_golden(tmp_path / "clean", 3)
+        model = load_quantized_model(clean, lazy=True, verify="full")
+        assert model.quantized["w"].shape == (4, 5)
+
+    def test_clean_archive_verifies_and_counts(self, tmp_path):
+        path = write_golden(tmp_path, 3)
+        model = load_quantized_model(path, lazy=True, verify="lazy")
+        with obs.scope() as trace:
+            model.quantized["w"]
+            model.quantized["w"]  # cached: no second verification
+        verified = [
+            e for e in trace.events if e["name"] == "npzmap.members_verified"
+        ]
+        assert len(verified) == 4  # codes, centroids, positions, outliers
+
+    def test_invalid_verify_value_rejected(self, tmp_path):
+        path = write_golden(tmp_path, 3)
+        with pytest.raises(ValueError, match="verify"):
+            load_quantized_model(path, verify="paranoid")
+
+
+class TestNpyHeaderParsing:
+    """Satellite: header-length-exact parsing and clear version errors."""
+
+    def test_long_header_member(self, tmp_path, rng):
+        """A header longer than any fixed prefix must still parse (the old
+        4096-byte slice failed inside numpy on such members)."""
+        array = np.arange(24, dtype=np.int64)
+        path = tmp_path / "long_header.npz"
+        write_npy_member(path, "big", npy_v1_bytes(array, pad=8000))
+        reader = MmapNpzReader(path)
+        np.testing.assert_array_equal(reader.read("big"), array)
+
+    def test_unsupported_npy_version_named(self, tmp_path):
+        array = np.arange(4, dtype=np.int64)
+        path = tmp_path / "future.npz"
+        write_npy_member(path, "odd", npy_v1_bytes(array, version=b"\x07\x00"))
+        reader = MmapNpzReader(path)
+        with pytest.raises(SerializationError, match=r"7\.0"):
+            reader.read("odd")
+
+    def test_not_npy_member_rejected(self, tmp_path):
+        path = tmp_path / "junk_member.npz"
+        with zipfile.ZipFile(path, "w", zipfile.ZIP_STORED) as zf:
+            zf.writestr("junk.npy", b"not numpy at all, definitely")
+        with pytest.raises(SerializationError, match="not a .npy"):
+            MmapNpzReader(path).read("junk")
+
+    def test_truncated_header_rejected(self, tmp_path):
+        array = np.arange(4, dtype=np.int64)
+        raw = npy_v1_bytes(array)
+        # Claim a header far longer than the stored bytes.
+        truncated = raw[:8] + struct.pack("<H", 60000) + raw[10:]
+        path = tmp_path / "torn.npz"
+        write_npy_member(path, "torn", truncated)
+        with pytest.raises(TruncatedArchiveError, match="header"):
+            MmapNpzReader(path).read("torn")
 
 
 class TestLazyEagerEquivalence:

@@ -209,6 +209,54 @@ class TestChunking:
         chunked = LookupKernel(tensor).matmul(x)
         np.testing.assert_array_equal(full, chunked)
 
+    @pytest.mark.parametrize("chunk_rows", [1, 2, 3, 5, 17, 100])
+    def test_outlier_correction_chunked(self, monkeypatch, chunk_rows):
+        """Satellite regression: the outlier gather runs per chunk, so an
+        outlier-heavy layer under a large micro-batch must give identical
+        results at every chunk size (including chunk = 1 row and chunk >
+        rows), not just when the whole batch fits one chunk."""
+        import repro.kernels.lookup as lookup_module
+
+        rng = derive_rng(20260807, "kernel-chunk-out", chunk_rows)
+        tensor = make_tensor(rng, (9, 14), 3, 0.4)  # outlier-heavy
+        x = rng.normal(size=(17, 14))
+        reference = dequantize_matmul(x, tensor)
+        monkeypatch.setattr(lookup_module, "_CHUNK_ELEMENTS", 9 * 14 * chunk_rows)
+        chunked = LookupKernel(tensor).matmul(x)
+        np.testing.assert_allclose(chunked, reference, rtol=1e-12, atol=1e-12)
+
+    def test_outlier_temporary_is_chunk_bounded(self, monkeypatch):
+        """The correction gather must see only one chunk of rows at a time."""
+        import repro.kernels.lookup as lookup_module
+
+        rng = derive_rng(20260807, "kernel-chunk-bound")
+        tensor = make_tensor(rng, (6, 8), 3, 0.5)
+        kernel = LookupKernel(tensor)
+        monkeypatch.setattr(lookup_module, "_CHUNK_ELEMENTS", 6 * 8 * 2)
+
+        seen_rows = []
+
+        class AddProxy:
+            @staticmethod
+            def reduceat(*args, **kwargs):
+                return np.add.reduceat(*args, **kwargs)
+
+            @staticmethod
+            def at(target, *args, **kwargs):
+                seen_rows.append(target.shape[0])
+                return np.add.at(target, *args, **kwargs)
+
+        class NpProxy:
+            add = AddProxy()
+
+            def __getattr__(self, name):
+                return getattr(np, name)
+
+        monkeypatch.setattr(lookup_module, "np", NpProxy())
+        kernel.matmul(rng.normal(size=(11, 8)))
+        assert seen_rows  # outliers present, the correction ran
+        assert max(seen_rows) <= 2  # never the whole 11-row batch at once
+
 
 class TestObservability:
     def test_no_dequantize_on_lookup_path(self):

@@ -101,6 +101,24 @@ class TestContract:
         with pytest.raises(ShapeError, match="does not match"):
             QuantizedLinear.from_linear(linear, tensor)
 
+    def test_from_linear_without_bias(self):
+        """A bias-free Linear (bias=None) gets the constructor's zero bias
+        instead of crashing with AttributeError."""
+        rng = derive_rng(20260807, "qlinear-biasfree")
+        linear = Linear(12, 8, rng=rng)
+        object.__setattr__(linear, "bias", None)
+        linear._parameters.pop("bias", None)
+        tensor, _ = quantize_tensor(linear.weight.data, bits=3)
+        qlinear = QuantizedLinear.from_linear(linear, tensor)
+        np.testing.assert_array_equal(qlinear.bias.data, np.zeros(8))
+        x = rng.normal(size=(3, 12))
+        np.testing.assert_allclose(
+            qlinear(Tensor(x)).data,
+            x @ tensor.dequantize(dtype=np.float64).T,
+            rtol=1e-12,
+            atol=1e-12,
+        )
+
     def test_only_bias_is_a_parameter(self):
         """The compressed weight must stay out of the trainable state."""
         rng = derive_rng(20260807, "qlinear-params")

@@ -1,0 +1,40 @@
+"""Fixtures for the serving-layer tests: one shared quantized micro archive."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.model_quantizer import quantize_model
+from repro.core.serialization import save_quantized_model
+from repro.models import build_model
+from tests.conftest import MICRO_CONFIG
+
+
+@pytest.fixture(scope="session")
+def micro_archive(tmp_path_factory):
+    """Path to a v3 quantized archive of the micro BERT config."""
+    model = build_model(MICRO_CONFIG, task="encoder", rng=7)
+    quantized = quantize_model(model, weight_bits=3, embedding_bits=4)
+    path = tmp_path_factory.mktemp("serve") / "micro.npz"
+    save_quantized_model(quantized, path)
+    return path
+
+
+def http_json(url: str, payload: dict | None = None, timeout: float = 30.0):
+    """(status, parsed-body) for a GET (payload=None) or JSON POST."""
+    if payload is None:
+        request = urllib.request.Request(url)
+    else:
+        request = urllib.request.Request(
+            url, data=json.dumps(payload).encode("utf-8"), method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())

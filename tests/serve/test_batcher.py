@@ -1,0 +1,262 @@
+"""MicroBatcher: fusion, fan-out correctness, deadlines, shutdown."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.errors import (
+    ModelNotFoundError,
+    QueueFullError,
+    RequestTimeoutError,
+    ServeError,
+)
+from repro.serve import AdmissionController, MicroBatcher, ModelRegistry
+from tests.conftest import MICRO_CONFIG
+
+
+@pytest.fixture
+def registry(micro_archive):
+    registry = ModelRegistry()
+    registry.register("micro", micro_archive, config=MICRO_CONFIG)
+    yield registry
+    registry.close()
+
+
+def make_batcher(registry, *, window=0.02, max_batch=8, max_pending=64,
+                 timeout=10.0):
+    admission = AdmissionController(max_pending=max_pending,
+                                    request_timeout=timeout)
+    return MicroBatcher(registry, admission,
+                        batch_window=window, max_batch=max_batch)
+
+
+class TestFusion:
+    def test_concurrent_requests_share_batches(self, registry):
+        batcher = make_batcher(registry, window=0.05, max_batch=16)
+        try:
+            results = [None] * 12
+            barrier = threading.Barrier(12)
+
+            def call(index):
+                barrier.wait()
+                pending = batcher.submit("micro", [1 + index % 5, 2, 3])
+                results[index] = batcher.wait(pending)
+
+            threads = [threading.Thread(target=call, args=(i,)) for i in range(12)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            sizes = {result["batch_size"] for result in results}
+            assert max(sizes) > 1, "no fusion happened across concurrent requests"
+            assert all(result["model"] == "micro" for result in results)
+        finally:
+            batcher.close()
+
+    def test_batched_result_matches_solo_forward(self, registry):
+        """Fusion must not change the numbers: padding + attention mask make
+        a batched row bit-identical to running the request alone."""
+        batcher = make_batcher(registry, window=0.05, max_batch=8)
+        try:
+            sequences = [[1, 2, 3, 4, 5, 6, 7], [8, 9], [10, 11, 12]]
+            results = [None] * len(sequences)
+            barrier = threading.Barrier(len(sequences))
+
+            def call(index):
+                barrier.wait()
+                pending = batcher.submit("micro", sequences[index])
+                results[index] = batcher.wait(pending)
+
+            threads = [
+                threading.Thread(target=call, args=(i,))
+                for i in range(len(sequences))
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert max(result["batch_size"] for result in results) > 1
+            entry = registry.get("micro")
+            for sequence, result in zip(sequences, results):
+                _, pooled = entry.model(np.array([sequence]))
+                np.testing.assert_allclose(
+                    np.array(result["pooled"]), pooled.data[0],
+                    rtol=1e-12, atol=1e-12,
+                )
+        finally:
+            batcher.close()
+
+    def test_max_batch_caps_fusion(self, registry):
+        batcher = make_batcher(registry, window=0.2, max_batch=2)
+        try:
+            results = [None] * 6
+            barrier = threading.Barrier(6)
+
+            def call(index):
+                barrier.wait()
+                pending = batcher.submit("micro", [1, 2, 3])
+                results[index] = batcher.wait(pending)
+
+            threads = [threading.Thread(target=call, args=(i,)) for i in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert max(result["batch_size"] for result in results) <= 2
+        finally:
+            batcher.close()
+
+
+class TestValidation:
+    def test_unknown_model_rejected_before_admission(self, registry):
+        batcher = make_batcher(registry, max_pending=1)
+        try:
+            with pytest.raises(ModelNotFoundError):
+                batcher.submit("ghost", [1, 2])
+            assert batcher.admission.depth == 0
+        finally:
+            batcher.close()
+
+    @pytest.mark.parametrize(
+        "bad",
+        [[], [[1, 2]], ["a"], [1.5], [999999], [-1]],
+        ids=["empty", "2d", "str", "float", "oov", "negative"],
+    )
+    def test_malformed_input_ids(self, registry, bad):
+        batcher = make_batcher(registry)
+        try:
+            with pytest.raises((ValueError, TypeError)):
+                batcher.submit("micro", bad)
+            assert batcher.admission.depth == 0
+        finally:
+            batcher.close()
+
+    def test_overlong_sequence(self, registry):
+        batcher = make_batcher(registry)
+        try:
+            too_long = [1] * (MICRO_CONFIG.max_position + 1)
+            with pytest.raises(ValueError, match="max_position"):
+                batcher.submit("micro", too_long)
+        finally:
+            batcher.close()
+
+    def test_token_type_shape_mismatch(self, registry):
+        batcher = make_batcher(registry)
+        try:
+            with pytest.raises(ValueError, match="token_type_ids"):
+                batcher.submit("micro", [1, 2, 3], token_type_ids=[0, 0])
+        finally:
+            batcher.close()
+
+    def test_queue_full_propagates(self, registry, monkeypatch):
+        batcher = make_batcher(registry, max_pending=1)
+        try:
+            batcher.admission.admit()  # occupy the only slot
+            with pytest.raises(QueueFullError):
+                batcher.submit("micro", [1, 2])
+        finally:
+            batcher.admission.release()
+            batcher.close()
+
+
+class TestDeadlines:
+    def test_timeout_returns_504_error_and_frees_slot(self, registry):
+        """A request stuck behind a blocked worker times out; its admission
+        slot must come back."""
+        batcher = make_batcher(registry, timeout=0.2, max_pending=4)
+        release = threading.Event()
+        original_forward = batcher._forward
+
+        def stalled_forward(model, live):
+            release.wait(5.0)
+            return original_forward(model, live)
+
+        batcher._forward = stalled_forward
+        try:
+            pending = batcher.submit("micro", [1, 2, 3])
+            with pytest.raises(RequestTimeoutError):
+                batcher.wait(pending)
+            release.set()
+            deadline = time.time() + 5.0
+            while batcher.admission.depth and time.time() < deadline:
+                time.sleep(0.01)
+            assert batcher.admission.depth == 0
+        finally:
+            release.set()
+            batcher.close()
+
+    def test_expired_in_queue_skipped_at_dequeue(self, registry):
+        """A request nobody is waiting on anymore gets dropped when the
+        worker reaches it, not computed into a dead batch."""
+        batcher = make_batcher(registry, window=0.01, timeout=0.05, max_pending=8)
+        stall = threading.Event()
+        original_forward = batcher._forward
+
+        def gated_forward(model, live):
+            stall.wait(5.0)
+            return original_forward(model, live)
+
+        batcher._forward = gated_forward
+        try:
+            with obs.scope() as trace:
+                first = batcher.submit("micro", [1, 2])
+                time.sleep(0.05)  # the worker is now stalled, batching `first`
+                second = batcher.submit("micro", [3, 4])  # queued behind it
+                time.sleep(0.1)  # second's deadline passes in the queue
+                stall.set()
+                # Let the worker reach `second` before asking for it, so the
+                # dequeue-time expiry path (not the handler-side timeout) is
+                # what resolves it.
+                poll_deadline = time.time() + 5.0
+                while not second.done.is_set() and time.time() < poll_deadline:
+                    time.sleep(0.005)
+                # first completes (late but computed)...
+                assert batcher.wait(first)["model"] == "micro"
+                # ...second was dropped at dequeue with the 504 error.
+                with pytest.raises(RequestTimeoutError, match="expired in queue"):
+                    batcher.wait(second)
+            expired = [event for event in trace.events
+                       if event["name"] == "serve.expired_in_queue"]
+            assert len(expired) == 1
+        finally:
+            stall.set()
+            batcher.close()
+
+
+class TestShutdown:
+    def test_close_drains_queued_requests(self, registry):
+        batcher = make_batcher(registry, window=0.05)
+        pending = batcher.submit("micro", [1, 2, 3])
+        batcher.close(drain=True)
+        result = batcher.wait(pending)
+        assert len(result["pooled"]) == MICRO_CONFIG.hidden_size
+
+    def test_submit_after_close_raises(self, registry):
+        batcher = make_batcher(registry)
+        batcher.close()
+        with pytest.raises(ServeError, match="shutting down"):
+            batcher.submit("micro", [1, 2])
+        assert batcher.admission.depth == 0
+
+
+class TestObservability:
+    def test_request_spans_nest_queue_wait(self, registry):
+        batcher = make_batcher(registry, window=0.01)
+        try:
+            with obs.scope() as trace:
+                with obs.recorder.span("serve.request", model="micro"):
+                    pending = batcher.submit("micro", [1, 2, 3])
+                    batcher.wait(pending)
+            by_name = {event["name"]: event for event in trace.events
+                       if event["event"] == "span"}
+            assert "serve.request" in by_name
+            assert by_name["serve.queue_wait"]["parent"] == "serve.request"
+            assert by_name["serve.batch"]["parent"] == "serve.request"
+            assert by_name["serve.batch"]["attrs"]["batch_size"] == 1
+        finally:
+            batcher.close()

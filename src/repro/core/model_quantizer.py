@@ -151,6 +151,7 @@ def quantize_state_dict(
     layer_timeout: float | None = None,
     transient_retries: int | None = None,
     cancel=None,
+    backend: str | None = None,
     engine=None,
 ) -> QuantizedModel:
     """Quantize selected tensors of a state dict; pass the rest through.
@@ -169,7 +170,12 @@ def quantize_state_dict(
     ``layer_timeout``/``transient_retries``/``cancel`` configure the
     engine's per-layer watchdog, transient-retry budget, and cooperative
     cancellation (None defers to ``REPRO_LAYER_TIMEOUT`` /
-    ``REPRO_TRANSIENT_RETRIES``).  ``engine`` swaps the layer engine itself
+    ``REPRO_TRANSIENT_RETRIES``).  ``backend`` picks the fan-out mechanism
+    (``"thread"``/``"process"``, None = ``REPRO_BACKEND``): the process
+    backend runs layers in supervised worker processes
+    (:mod:`repro.jobs.fleet`) so a worker crash costs one in-flight attempt
+    instead of the run, with byte-identical output.  ``engine`` swaps the
+    layer engine itself
     — any callable with :func:`~repro.core.parallel.quantize_layers`'s
     signature, e.g. :func:`repro.jobs.runner.run_durable_layers` partially
     bound to a job directory for checkpoint/resume durability.
@@ -202,6 +208,7 @@ def quantize_state_dict(
         layer_timeout=layer_timeout,
         transient_retries=transient_retries,
         cancel=cancel,
+        backend=backend,
     )
 
     dropped = {failure.name for failure in report.failures if failure.dropped}
@@ -241,6 +248,7 @@ def quantize_model(
     layer_timeout: float | None = None,
     transient_retries: int | None = None,
     cancel=None,
+    backend: str | None = None,
     engine=None,
 ) -> QuantizedModel:
     """Quantize a live model's BERT FC layers and embedding tables.
@@ -265,5 +273,6 @@ def quantize_model(
         layer_timeout=layer_timeout,
         transient_retries=transient_retries,
         cancel=cancel,
+        backend=backend,
         engine=engine,
     )

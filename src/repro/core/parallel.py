@@ -13,12 +13,22 @@ All timings come from :mod:`repro.obs` spans (``engine.run``, one
 even when no trace sink is installed; span context is propagated into the
 pool workers so traces nest identically at any worker count (DESIGN.md §5c).
 
-Threads, not processes: the hot kernels (``searchsorted``/``bincount``/
-``argmin`` inside the clustering loop) release the GIL, a thread pool shares
-the weight arrays with zero copies, and — because :func:`quantize_tensor` is
-a pure function of its inputs — the result is **bit-for-bit identical** for
-any worker count.  ``workers=1`` runs the plain serial loop with no executor
-at all, preserving the historical path exactly.
+Two backends (``backend=`` / ``REPRO_BACKEND``):
+
+* ``"thread"`` (default): the hot kernels (``searchsorted``/``bincount``/
+  ``argmin`` inside the clustering loop) release the GIL, a thread pool
+  shares the weight arrays with zero copies, and ``workers=1`` runs the
+  plain serial loop with no executor at all, preserving the historical path
+  exactly.
+* ``"process"``: a supervised worker fleet (:mod:`repro.jobs.fleet`) —
+  crash-isolated worker *processes* with heartbeats, layer leases and
+  work reassignment, so a worker SIGKILLed mid-layer costs only that
+  layer's in-flight attempt, never the run.  The GIL-bound parts of the
+  clustering loop also genuinely parallelize.
+
+Because :func:`quantize_tensor` is a pure function of its inputs, the result
+is **bit-for-bit identical** for any worker count *and* either backend —
+the per-job logic lives in one :class:`JobRunner` shared by both.
 
 Worker resolution:
 
@@ -89,7 +99,9 @@ WORKERS_ENV = "REPRO_WORKERS"
 ON_ERROR_ENV = "REPRO_ON_ERROR"
 LAYER_TIMEOUT_ENV = "REPRO_LAYER_TIMEOUT"
 TRANSIENT_RETRIES_ENV = "REPRO_TRANSIENT_RETRIES"
+BACKEND_ENV = "REPRO_BACKEND"
 ON_ERROR_POLICIES = ("fail", "skip", "fp32-fallback", "retry-higher-bits")
+BACKENDS = ("thread", "process")
 MAX_RETRY_BITS = 8
 
 # A fault injector is called as ``injector(index, job, weights)`` before each
@@ -186,6 +198,9 @@ class QuantizationReport:
     interrupted: bool = False
     pending: list[str] = field(default_factory=list)
     resumed_layers: int = 0
+    backend: str = "thread"
+    worker_deaths: int = 0
+    reassignments: int = 0
 
     @property
     def ok(self) -> bool:
@@ -246,6 +261,13 @@ class QuantizationReport:
             f"(effective parallelism {self.effective_parallelism:.2f}x) "
             f"CR={self.compression_ratio:.2f}x"
         )
+        if self.backend != "thread":
+            footer += f" backend={self.backend}"
+            if self.worker_deaths:
+                footer += (
+                    f" worker-deaths={self.worker_deaths}"
+                    f" reassigned={self.reassignments}"
+                )
         if self.resumed_layers:
             footer += f" resumed={self.resumed_layers}"
         if self.interrupted:
@@ -299,6 +321,25 @@ def resolve_workers(workers: int | None) -> int:
     if workers == 0:
         return os.cpu_count() or 1
     return workers
+
+
+def default_backend() -> str:
+    """Engine backend from the ``REPRO_BACKEND`` environment (default thread)."""
+    raw = os.environ.get(BACKEND_ENV)
+    if not raw:
+        return "thread"
+    return resolve_backend(raw)
+
+
+def resolve_backend(backend: str | None) -> str:
+    """Normalize a ``backend`` argument to a concrete backend name."""
+    if backend is None:
+        return default_backend()
+    if backend not in BACKENDS:
+        raise QuantizationError(
+            f"unknown engine backend {backend!r}; use one of {BACKENDS}"
+        )
+    return backend
 
 
 def default_on_error() -> str:
@@ -394,71 +435,52 @@ class LayerOutcome:
     cancelled: bool = False
 
 
-def quantize_layers(
-    state: Mapping[str, np.ndarray],
-    jobs: Iterable[LayerJob],
-    log_prob_threshold: float = DEFAULT_LOG_PROB_THRESHOLD,
-    method: str = "gobo",
-    max_iterations: int = 50,
-    workers: int | None = 1,
-    on_error: str | None = "fail",
-    validation: str = "strict",
-    fault_injector: FaultInjector | None = None,
-    layer_timeout: float | None = None,
-    transient_retries: int | None = None,
-    transient_backoff: float = DEFAULT_BACKOFF_BASE,
-    cancel: "threading.Event | None" = None,
-    on_layer_complete: "Callable[[LayerOutcome], None] | None" = None,
-) -> tuple[dict[str, GoboQuantizedTensor], dict[str, int], QuantizationReport]:
-    """Quantize every job's tensor, optionally fanning out over threads.
+@dataclass
+class JobRunner:
+    """Per-job attempt/retry/policy logic, shared by every backend.
 
-    Results are keyed in job order regardless of completion order, and each
-    job is an independent pure computation, so the output is bit-for-bit
-    identical for every worker count — including runs where some layers fail
-    and a degradation policy applies (see module docstring for ``on_error``
-    and :mod:`repro.core.validate` for ``validation``).  ``fault_injector``
-    is the deterministic test hook used by :mod:`repro.testing.faults`.
+    One runner holds everything a single :class:`LayerJob` needs to reach
+    its final :class:`LayerOutcome`: the weight state, the quantization
+    parameters, the ``on_error`` policy, the per-attempt watchdog deadline
+    and the in-place transient-retry loop.  The thread backend constructs
+    one per run and calls :meth:`run` from its pool threads; the process
+    backend (:mod:`repro.jobs.fleet`) constructs an identical runner inside
+    each worker process — so a layer's disposition, and the exact bytes it
+    produces, follow the same code path on every backend.
 
-    Supervision knobs (see module docstring): ``layer_timeout`` arms a
-    watchdog deadline per attempt, ``transient_retries`` retries transient
-    errors in place with ``transient_backoff``-based exponential backoff,
-    ``cancel`` drains the run leaving unstarted jobs in ``report.pending``,
-    and ``on_layer_complete`` receives each job's final
-    :class:`LayerOutcome` as it finishes (calls are serialized; an exception
-    from the hook aborts the run — durable storage failing is fatal).
-
-    Returns ``(quantized, iterations, report)``; failed layers appear in
-    ``report.failures`` instead of ``quantized``.
+    Fields must be *resolved* concrete values (use :func:`resolve_on_error`
+    and friends first); the runner does no environment fallback of its own.
+    ``watchdog`` must already be started when ``layer_timeout`` is set.
     """
-    jobs = list(jobs)
-    missing = [job.name for job in jobs if job.name not in state]
-    if missing:
-        raise QuantizationError(f"state dict is missing tensors: {missing}")
-    workers = resolve_workers(workers)
-    on_error = resolve_on_error(on_error)
-    layer_timeout = resolve_layer_timeout(layer_timeout)
-    transient_retries = resolve_transient_retries(transient_retries)
-    watchdog = (
-        Watchdog(poll_interval=min(0.02, layer_timeout / 5))
-        if layer_timeout is not None
-        else None
-    )
-    hook_lock = threading.Lock()
 
-    def attempt(index: int, job: LayerJob, bits: int) -> tuple[GoboQuantizedTensor, LayerRecord]:
+    state: Mapping[str, np.ndarray]
+    log_prob_threshold: float = DEFAULT_LOG_PROB_THRESHOLD
+    method: str = "gobo"
+    max_iterations: int = 50
+    on_error: str = "fail"
+    validation: str = "strict"
+    fault_injector: FaultInjector | None = None
+    layer_timeout: float | None = None
+    transient_retries: int = 0
+    transient_backoff: float = DEFAULT_BACKOFF_BASE
+    watchdog: Watchdog | None = None
+
+    def attempt(
+        self, index: int, job: LayerJob, bits: int
+    ) -> tuple[GoboQuantizedTensor, LayerRecord]:
         with obs.span("engine.layer", layer=job.name, bits=bits) as layer_span:
-            weights = state[job.name]
-            if fault_injector is not None:
-                replacement = fault_injector(index, job, weights)
+            weights = self.state[job.name]
+            if self.fault_injector is not None:
+                replacement = self.fault_injector(index, job, weights)
                 if replacement is not None:
                     weights = replacement
             tensor, result = quantize_tensor(
                 weights,
                 bits=bits,
-                log_prob_threshold=log_prob_threshold,
-                method=method,
-                max_iterations=max_iterations,
-                validation=validation,
+                log_prob_threshold=self.log_prob_threshold,
+                method=self.method,
+                max_iterations=self.max_iterations,
+                validation=self.validation,
             )
             original_bytes = tensor.total_count * BYTES_PER_FP32
             compressed_bytes = tensor.storage().compressed_bytes
@@ -482,29 +504,29 @@ def quantize_layers(
         return tensor, record
 
     def attempt_supervised(
-        index: int, job: LayerJob, bits: int
+        self, index: int, job: LayerJob, bits: int
     ) -> tuple[GoboQuantizedTensor, LayerRecord]:
         """One attempt under a fresh watchdog deadline (when configured)."""
-        if layer_timeout is None:
-            return attempt(index, job, bits)
-        deadline = Deadline(layer_timeout, label=job.name)
-        watchdog.register(deadline)
+        if self.layer_timeout is None:
+            return self.attempt(index, job, bits)
+        deadline = Deadline(self.layer_timeout, label=job.name)
+        self.watchdog.register(deadline)
         try:
             with deadline_scope(deadline):
-                return attempt(index, job, bits)
+                return self.attempt(index, job, bits)
         finally:
-            watchdog.unregister(deadline)
+            self.watchdog.unregister(deadline)
 
     def attempt_resilient(
-        index: int, job: LayerJob, bits: int, retries_used: list[int]
+        self, index: int, job: LayerJob, bits: int, retries_used: list[int]
     ) -> tuple[GoboQuantizedTensor, LayerRecord]:
         """Attempt with in-place transient retries before any policy fires."""
         retry = 0
         while True:
             try:
-                return attempt_supervised(index, job, bits)
+                return self.attempt_supervised(index, job, bits)
             except Exception as exc:  # noqa: BLE001 — classified below
-                if retry >= transient_retries or not is_transient(exc):
+                if retry >= self.transient_retries or not is_transient(exc):
                     raise
                 obs.counter(
                     "engine.retry",
@@ -514,17 +536,19 @@ def quantize_layers(
                     error=type(exc).__name__,
                 )
                 time.sleep(
-                    backoff_delay(retry, base=transient_backoff, key=f"{job.name}:{bits}")
+                    backoff_delay(
+                        retry, base=self.transient_backoff, key=f"{job.name}:{bits}"
+                    )
                 )
                 retries_used[0] += 1
                 retry += 1
 
-    def run(indexed_job: tuple[int, LayerJob]) -> LayerOutcome:
-        index, job = indexed_job
+    def run(self, index: int, job: LayerJob) -> LayerOutcome:
+        """Resolve one job to its final outcome under the ``on_error`` policy."""
         attempts = [job.bits]
         retries_used = [0]
         try:
-            tensor, record = attempt_resilient(index, job, job.bits, retries_used)
+            tensor, record = self.attempt_resilient(index, job, job.bits, retries_used)
             return LayerOutcome(job=job, tensor=tensor, record=record)
         except LayerSkipped as exc:
             # The skip validation policy always ships the layer FP32,
@@ -546,9 +570,9 @@ def quantize_layers(
             # on_error policy, but never retry it (in place or wider) — that
             # would stall the run all over again.
             obs.counter("engine.timeout", layer=job.name, bits=job.bits)
-            if on_error == "fail":
+            if self.on_error == "fail":
                 raise
-            resolution = "skip" if on_error == "skip" else "fp32-fallback"
+            resolution = "skip" if self.on_error == "skip" else "fp32-fallback"
             return LayerOutcome(
                 job=job,
                 failure=LayerFailure(
@@ -563,13 +587,13 @@ def quantize_layers(
                 ),
             )
         except Exception as exc:  # noqa: BLE001 — isolation is the point
-            if on_error == "fail":
+            if self.on_error == "fail":
                 raise
-            if on_error == "retry-higher-bits":
+            if self.on_error == "retry-higher-bits":
                 for retry_bits in range(job.bits + 1, MAX_RETRY_BITS + 1):
                     attempts.append(retry_bits)
                     try:
-                        tensor, record = attempt_resilient(
+                        tensor, record = self.attempt_resilient(
                             index, job, retry_bits, retries_used
                         )
                     except LayerTimeoutError:
@@ -594,7 +618,7 @@ def quantize_layers(
                     )
                 action = "fp32-fallback"  # every retry failed
             else:
-                action = on_error
+                action = self.on_error
             return LayerOutcome(
                 job=job,
                 failure=LayerFailure(
@@ -607,6 +631,136 @@ def quantize_layers(
                     transient_retries=retries_used[0],
                 ),
             )
+
+
+def assemble_outcomes(
+    outcomes: Iterable[LayerOutcome], report: QuantizationReport
+) -> tuple[dict[str, GoboQuantizedTensor], dict[str, int]]:
+    """Fold job-ordered outcomes into ``(quantized, iterations)`` + ``report``.
+
+    Shared by the thread path and the fleet supervisor so both backends
+    assemble results — and emit the layer counters — identically.  Must run
+    inside the run's obs scope so the counters land in ``report.metrics``.
+    """
+    quantized: dict[str, GoboQuantizedTensor] = {}
+    iterations: dict[str, int] = {}
+    for outcome in outcomes:
+        if outcome.cancelled:
+            report.pending.append(outcome.job.name)
+            continue
+        if outcome.record is not None and outcome.tensor is not None:
+            quantized[outcome.record.name] = outcome.tensor
+            iterations[outcome.record.name] = outcome.record.iterations
+            report.layers.append(outcome.record)
+        if outcome.failure is not None:
+            report.failures.append(outcome.failure)
+    # A cancellation that arrived after every job had already started
+    # drained to a complete run; only unstarted work marks the run
+    # interrupted.
+    report.interrupted = bool(report.pending)
+    obs.counter("engine.layers.quantized", len(report.layers))
+    if report.failures:
+        obs.counter("engine.layers.degraded", len(report.failures))
+    if report.pending:
+        obs.counter("engine.layers.cancelled", len(report.pending))
+    return quantized, iterations
+
+
+def quantize_layers(
+    state: Mapping[str, np.ndarray],
+    jobs: Iterable[LayerJob],
+    log_prob_threshold: float = DEFAULT_LOG_PROB_THRESHOLD,
+    method: str = "gobo",
+    max_iterations: int = 50,
+    workers: int | None = 1,
+    on_error: str | None = "fail",
+    validation: str = "strict",
+    fault_injector: FaultInjector | None = None,
+    layer_timeout: float | None = None,
+    transient_retries: int | None = None,
+    transient_backoff: float = DEFAULT_BACKOFF_BASE,
+    cancel: "threading.Event | None" = None,
+    on_layer_complete: "Callable[[LayerOutcome], None] | None" = None,
+    backend: str | None = None,
+) -> tuple[dict[str, GoboQuantizedTensor], dict[str, int], QuantizationReport]:
+    """Quantize every job's tensor, optionally fanning out over threads.
+
+    Results are keyed in job order regardless of completion order, and each
+    job is an independent pure computation, so the output is bit-for-bit
+    identical for every worker count — including runs where some layers fail
+    and a degradation policy applies (see module docstring for ``on_error``
+    and :mod:`repro.core.validate` for ``validation``).  ``fault_injector``
+    is the deterministic test hook used by :mod:`repro.testing.faults`.
+
+    Supervision knobs (see module docstring): ``layer_timeout`` arms a
+    watchdog deadline per attempt, ``transient_retries`` retries transient
+    errors in place with ``transient_backoff``-based exponential backoff,
+    ``cancel`` drains the run leaving unstarted jobs in ``report.pending``,
+    and ``on_layer_complete`` receives each job's final
+    :class:`LayerOutcome` as it finishes (calls are serialized; an exception
+    from the hook aborts the run — durable storage failing is fatal).
+
+    ``backend`` selects the fan-out mechanism: ``"thread"`` (default) runs
+    jobs on a :class:`ThreadPoolExecutor` in this process; ``"process"``
+    delegates to the supervised worker fleet
+    (:func:`repro.jobs.fleet.run_fleet_layers`) for crash isolation.  Both
+    produce bit-identical archives; ``None`` consults ``REPRO_BACKEND``.
+
+    Returns ``(quantized, iterations, report)``; failed layers appear in
+    ``report.failures`` instead of ``quantized``.
+    """
+    jobs = list(jobs)
+    missing = [job.name for job in jobs if job.name not in state]
+    if missing:
+        raise QuantizationError(f"state dict is missing tensors: {missing}")
+    if resolve_backend(backend) == "process":
+        if fault_injector is not None:
+            raise QuantizationError(
+                "fault_injector objects cannot cross process boundaries; "
+                "export a REPRO_FAULTS spec instead (see repro.testing.faults)"
+            )
+        # Lazy import: the fleet lives in the jobs subsystem and pulls in
+        # multiprocessing machinery the thread path never needs.
+        from repro.jobs.fleet import run_fleet_layers
+
+        return run_fleet_layers(
+            state,
+            jobs,
+            log_prob_threshold=log_prob_threshold,
+            method=method,
+            max_iterations=max_iterations,
+            workers=workers,
+            on_error=on_error,
+            validation=validation,
+            layer_timeout=layer_timeout,
+            transient_retries=transient_retries,
+            transient_backoff=transient_backoff,
+            cancel=cancel,
+            on_layer_complete=on_layer_complete,
+        )
+    workers = resolve_workers(workers)
+    on_error = resolve_on_error(on_error)
+    layer_timeout = resolve_layer_timeout(layer_timeout)
+    transient_retries = resolve_transient_retries(transient_retries)
+    watchdog = (
+        Watchdog(poll_interval=min(0.02, layer_timeout / 5))
+        if layer_timeout is not None
+        else None
+    )
+    hook_lock = threading.Lock()
+    runner = JobRunner(
+        state=state,
+        log_prob_threshold=log_prob_threshold,
+        method=method,
+        max_iterations=max_iterations,
+        on_error=on_error,
+        validation=validation,
+        fault_injector=fault_injector,
+        layer_timeout=layer_timeout,
+        transient_retries=transient_retries,
+        transient_backoff=transient_backoff,
+        watchdog=watchdog,
+    )
 
     indexed = list(enumerate(jobs))
     with obs.scope() as scoped:
@@ -628,7 +782,7 @@ def quantize_layers(
                     with obs.use_context(context):
                         if cancel is not None and cancel.is_set():
                             return LayerOutcome(job=item[1], cancelled=True)
-                        outcome = run(item)
+                        outcome = runner.run(*item)
                         if on_layer_complete is not None:
                             with hook_lock:
                                 on_layer_complete(outcome)
@@ -645,32 +799,12 @@ def quantize_layers(
             if watchdog is not None:
                 watchdog.stop()
 
-        quantized: dict[str, GoboQuantizedTensor] = {}
-        iterations: dict[str, int] = {}
         report = QuantizationReport(
             workers=workers,
             wall_seconds=engine_span.duration,
             on_error=on_error,
             layer_timeout=layer_timeout,
         )
-        for outcome in outcomes:
-            if outcome.cancelled:
-                report.pending.append(outcome.job.name)
-                continue
-            if outcome.record is not None and outcome.tensor is not None:
-                quantized[outcome.record.name] = outcome.tensor
-                iterations[outcome.record.name] = outcome.record.iterations
-                report.layers.append(outcome.record)
-            if outcome.failure is not None:
-                report.failures.append(outcome.failure)
-        # A cancellation that arrived after every job had already started
-        # drained to a complete run; only unstarted work marks the run
-        # interrupted.
-        report.interrupted = bool(report.pending)
-        obs.counter("engine.layers.quantized", len(report.layers))
-        if report.failures:
-            obs.counter("engine.layers.degraded", len(report.failures))
-        if report.pending:
-            obs.counter("engine.layers.cancelled", len(report.pending))
+        quantized, iterations = assemble_outcomes(outcomes, report)
     report.metrics = scoped.snapshot()
     return quantized, iterations, report

@@ -323,13 +323,13 @@ def load_quantized_model(
       on first access, so a lazy load stays proportional to the layers
       touched but bit rot still raises
       :class:`~repro.errors.ChecksumMismatchError` instead of producing
-      silently wrong logits.  The serving registry's default.
-    * ``"none"`` — no verification.  Default for lazy loads (back-compat;
-      the historical documented gap).
+      silently wrong logits.  Default for lazy loads.
+    * ``"none"`` — no verification.  Opt-in only: an unverified load can
+      serve silently wrong logits from a bit-rotted archive.
     """
     path = Path(path)
     if verify is None:
-        verify = "none" if lazy else "full"
+        verify = "lazy" if lazy else "full"
     if verify not in ("none", "lazy", "full"):
         raise ValueError(f"verify must be 'none', 'lazy' or 'full', got {verify!r}")
     if lazy:

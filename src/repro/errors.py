@@ -57,6 +57,17 @@ class LayerTimeoutError(QuantizationError):
     """
 
 
+class WorkerCrashError(QuantizationError):
+    """A fleet worker process died (or went heartbeat-silent) mid-layer.
+
+    Raised supervisor-side by :mod:`repro.jobs.fleet` when a worker's pipe
+    breaks, its process sentinel fires, or its heartbeats stop.  Classified
+    as *transient* by :func:`repro.jobs.retry.is_transient`: the layer it
+    was leasing is reassigned to a surviving worker before any ``on_error``
+    degradation policy fires — process death says nothing about the tensor.
+    """
+
+
 class JobStateError(ReproError):
     """A durable job directory is unusable for the requested run.
 

@@ -24,6 +24,11 @@ supervised, resumable run:
 * :mod:`repro.jobs.signals` — SIGINT/SIGTERM handling that drains in-flight
   layers, flushes the journal, and exits with :data:`EXIT_INTERRUPTED`
   (a second signal hard-exits immediately).
+* :mod:`repro.jobs.fleet` — the ``backend="process"`` engine: a supervisor
+  leases layers to N worker processes over per-worker pipes, monitors
+  heartbeats, SIGKILLs wedged workers and reassigns their leased layers to
+  survivors — crash isolation the thread backend cannot offer, with
+  byte-identical archives.
 
 Exports are resolved lazily (PEP 562) so that low-level modules —
 ``repro.core.clustering`` imports the deadline checkpoint,
@@ -36,10 +41,14 @@ from __future__ import annotations
 
 _EXPORTS = {
     "Deadline": "repro.jobs.watchdog",
+    "LivenessMonitor": "repro.jobs.watchdog",
     "Watchdog": "repro.jobs.watchdog",
     "checkpoint": "repro.jobs.watchdog",
     "current_deadline": "repro.jobs.watchdog",
     "deadline_scope": "repro.jobs.watchdog",
+    "current_worker_id": "repro.jobs.fleet",
+    "mute_heartbeat": "repro.jobs.fleet",
+    "run_fleet_layers": "repro.jobs.fleet",
     "JobJournal": "repro.jobs.journal",
     "JournalReadResult": "repro.jobs.journal",
     "read_journal": "repro.jobs.journal",

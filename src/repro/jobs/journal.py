@@ -23,6 +23,14 @@ itself was serialized.  Record types written by the runner:
     deterministically failing layer would reproduce the same failure.
 ``interrupted`` / ``complete``
     Run lifecycle markers; ``interrupted`` lists the still-pending layers.
+``lease`` / ``lease-broken``
+    Fleet supervision markers (:mod:`repro.jobs.fleet`): a ``lease`` records
+    which worker process (owner pid + heartbeat deadline) a layer was handed
+    to; ``lease-broken`` records that the worker died or went silent and how
+    the layer was disposed of (reassigned to a survivor, or resolved by the
+    ``on_error`` policy).  Both are informational — resume derives state from
+    ``layer-done``/``layer-failed`` alone — but ``repro jobs status`` renders
+    them as the fleet view.
 
 Reading is prefix-safe: :func:`read_journal` returns every record up to the
 first unparseable or checksum-failing line and reports how many valid bytes
@@ -48,7 +56,15 @@ JOURNAL_NAME = "journal.jsonl"
 #: Journal format version, recorded in the ``job-meta`` line.
 JOURNAL_VERSION = 1
 
-RECORD_TYPES = ("job-meta", "layer-done", "layer-failed", "interrupted", "complete")
+RECORD_TYPES = (
+    "job-meta",
+    "layer-done",
+    "layer-failed",
+    "interrupted",
+    "complete",
+    "lease",
+    "lease-broken",
+)
 
 
 def canonical_record(record: dict) -> str:

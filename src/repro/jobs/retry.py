@@ -18,12 +18,17 @@ from __future__ import annotations
 
 import hashlib
 
-from repro.errors import LayerTimeoutError
+from repro.errors import LayerTimeoutError, WorkerCrashError
 
 #: Exception types retried in place before ``on_error`` applies.  ``OSError``
 #: covers I/O errors (including the injected ``InjectedIOError``);
 #: ``ConnectionError``/``InterruptedError`` are OSError subclasses already.
-TRANSIENT_EXCEPTIONS: tuple[type[BaseException], ...] = (OSError,)
+#: :class:`~repro.errors.WorkerCrashError` — a fleet worker process dying
+#: mid-layer (SIGKILLed, OOM-killed, ``BrokenProcessPool``-style death, or
+#: an injected I/O error that took the child down) — is transient in the
+#: same sense: the layer is retried on a *surviving* worker before any
+#: ``on_error`` degradation policy fires.
+TRANSIENT_EXCEPTIONS: tuple[type[BaseException], ...] = (OSError, WorkerCrashError)
 
 #: Default backoff parameters (seconds).
 DEFAULT_BACKOFF_BASE = 0.05

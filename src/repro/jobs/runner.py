@@ -49,6 +49,7 @@ from repro.core.parallel import (
     LayerRecord,
     QuantizationReport,
     quantize_layers,
+    resolve_backend,
     resolve_on_error,
 )
 from repro.core.policy import LayerPolicy
@@ -229,6 +230,7 @@ def run_durable_layers(
     layer_timeout: float | None = None,
     transient_retries: int | None = None,
     cancel=None,
+    backend: str | None = None,
     *,
     job_dir: str | Path,
     resume: bool = False,
@@ -237,7 +239,12 @@ def run_durable_layers(
     """Engine-compatible durable run over ``job_dir`` (see module docstring).
 
     Drop-in for :func:`~repro.core.parallel.quantize_layers`; the extra
-    keyword-only parameters configure durability.  Raises
+    keyword-only parameters configure durability.  ``backend="process"``
+    runs the remaining layers on the supervised worker fleet
+    (:mod:`repro.jobs.fleet`) with leases journaled to this job's journal
+    and worker traces under ``<job_dir>/obs/``; like the worker count, the
+    backend is not fingerprinted — a job may be resumed on either backend
+    and the archive bytes do not change.  Raises
     :class:`~repro.errors.JobStateError` when ``job_dir`` holds a journal
     for a different job, or holds any journal while ``resume`` is False.
     """
@@ -360,7 +367,18 @@ def run_durable_layers(
     remaining = [
         job for job in jobs if job.name not in completed and job.name not in failures
     ]
-    fresh_quantized, fresh_iterations, report = quantize_layers(
+    if resolve_backend(backend) == "process":
+        # The fleet journals leases/broken leases alongside the layer
+        # records and keeps worker-local traces inside the job dir, where
+        # they survive for post-mortem even if the supervisor dies.
+        from repro.jobs.fleet import run_fleet_layers
+
+        engine = functools.partial(
+            run_fleet_layers, journal=journal, obs_dir=job_dir / "obs"
+        )
+    else:
+        engine = quantize_layers
+    fresh_quantized, fresh_iterations, report = engine(
         state,
         remaining,
         log_prob_threshold=log_prob_threshold,
@@ -433,6 +451,7 @@ def durable_quantize_state_dict(
     layer_timeout: float | None = None,
     transient_retries: int | None = None,
     cancel=None,
+    backend: str | None = None,
     *,
     job_dir: str | Path,
     resume: bool = False,
@@ -442,7 +461,7 @@ def durable_quantize_state_dict(
 
     Identical semantics and bit-identical output, with every completed layer
     journaled to ``job_dir`` and ``resume=True`` continuing an interrupted
-    run.  Inspect progress with :func:`job_status`.
+    run (on either backend).  Inspect progress with :func:`job_status`.
     """
     engine = functools.partial(
         run_durable_layers,
@@ -465,6 +484,7 @@ def durable_quantize_state_dict(
         layer_timeout=layer_timeout,
         transient_retries=transient_retries,
         cancel=cancel,
+        backend=backend,
         engine=engine,
     )
 
@@ -485,6 +505,14 @@ class JobStatus:
     intact: bool = True
     journal_bytes: int = 0
     records: int = 0
+    #: Fleet view (``backend="process"`` runs): layer name -> the lease
+    #: still outstanding for it ({"worker", "pid", "attempt"}); leases are
+    #: cleared by layer-done/layer-failed/lease-broken records in journal
+    #: order, so anything left here was in flight when the journal ends —
+    #: in-flight right now, or lost to a dead supervisor.
+    active_leases: dict[str, dict] = field(default_factory=dict)
+    broken_leases: int = 0
+    worker_deaths: int = 0
 
     @property
     def pending(self) -> list[str]:
@@ -523,6 +551,26 @@ def job_status(job_dir: str | Path) -> JobStatus:
         journal_bytes=journal_path.stat().st_size,
         records=len(result.records),
     )
+    # Replay fleet supervision markers in journal order: a lease is active
+    # until the layer resolves or the lease is declared broken.
+    dead_workers: set[tuple] = set()
+    for record in result.records:
+        kind = record.get("type")
+        if kind == "lease":
+            status.active_leases[record["name"]] = {
+                "worker": record.get("worker"),
+                "pid": record.get("pid"),
+                "attempt": record.get("attempt", 0),
+            }
+        elif kind == "lease-broken":
+            status.active_leases.pop(record.get("name"), None)
+            status.broken_leases += 1
+            dead_workers.add((record.get("worker"), record.get("pid")))
+        elif kind == "layer-done":
+            status.active_leases.pop(record.get("name"), None)
+        elif kind == "layer-failed":
+            status.active_leases.pop(record.get("failure", {}).get("name"), None)
+    status.worker_deaths = len(dead_workers)
     return status
 
 
@@ -547,4 +595,18 @@ def render_status(status: JobStatus) -> str:
         shown = status.pending[:8]
         suffix = "" if len(status.pending) <= 8 else f", … +{len(status.pending) - 8}"
         lines.append("pending:    " + ", ".join(shown) + suffix)
+    if status.broken_leases or status.active_leases:
+        lines.append(
+            f"fleet:      {status.worker_deaths} worker death(s), "
+            f"{status.broken_leases} broken lease(s)"
+        )
+    if status.active_leases:
+        leased = [
+            f"{name} → worker {lease['worker']} (pid {lease['pid']})"
+            for name, lease in list(status.active_leases.items())[:8]
+        ]
+        more = len(status.active_leases) - len(leased)
+        lines.append(
+            "leased:     " + ", ".join(leased) + ("" if more <= 0 else f", … +{more}")
+        )
     return "\n".join(lines)

@@ -22,6 +22,14 @@ times out is surfaced within ``layer_timeout`` plus the time to its next
 checkpoint.  Code that never reaches a checkpoint (a true C-level hang)
 cannot be interrupted — the watchdog still flags it, so the stall is loud
 in the instrumentation.  See DESIGN.md §5d for the semantics.
+
+Process-level liveness (:class:`LivenessMonitor`) is the other half of the
+story, used by the fleet supervisor (:mod:`repro.jobs.fleet`, DESIGN.md
+§5g): worker *processes* — unlike threads — can die outright or wedge
+without ever reaching a checkpoint, so each worker sends periodic
+heartbeats and the supervisor keeps a last-beat ledger.  A member silent
+past the timeout is presumed dead; unlike a thread, a wedged process *can*
+be killed, so the supervisor SIGKILLs it and reassigns its leased layer.
 """
 
 from __future__ import annotations
@@ -113,6 +121,55 @@ def checkpoint() -> None:
     deadline = getattr(_local, "deadline", None)
     if deadline is not None:
         deadline.check()
+
+
+class LivenessMonitor:
+    """Last-heartbeat ledger: which members have gone silent?
+
+    Thread-safe and clock-injectable (every method takes an optional
+    ``now``, defaulting to :func:`time.monotonic`) so supervision logic is
+    testable without sleeping.  The monitor passes no judgement on *why* a
+    member is silent — a dead process and a wedged one look identical from
+    the outside, which is exactly the point: the supervisor treats both as
+    dead, kills whatever is left, and reassigns the member's work.
+    """
+
+    def __init__(self, timeout: float):
+        if not timeout > 0:
+            raise QuantizationError(
+                f"liveness timeout must be > 0 seconds, got {timeout!r}"
+            )
+        self.timeout = float(timeout)
+        self._last: dict = {}
+        self._lock = threading.Lock()
+
+    def beat(self, member, now: float | None = None) -> None:
+        """Record a heartbeat from ``member`` (any hashable key)."""
+        with self._lock:
+            self._last[member] = time.monotonic() if now is None else now
+
+    def forget(self, member) -> None:
+        """Stop tracking ``member`` (it exited, or was declared dead)."""
+        with self._lock:
+            self._last.pop(member, None)
+
+    def last_beat(self, member) -> float | None:
+        with self._lock:
+            return self._last.get(member)
+
+    def tracked(self) -> list:
+        with self._lock:
+            return list(self._last)
+
+    def silent(self, now: float | None = None) -> list:
+        """Members whose last beat is older than ``timeout`` seconds."""
+        now = time.monotonic() if now is None else now
+        with self._lock:
+            return [
+                member
+                for member, beat in self._last.items()
+                if now - beat > self.timeout
+            ]
 
 
 class Watchdog:

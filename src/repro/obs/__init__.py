@@ -30,6 +30,7 @@ from repro.obs.events import (
     canonical_event,
     canonical_events,
     read_trace,
+    read_trace_lenient,
     validate_event,
     validate_events,
     validate_trace_file,
@@ -54,6 +55,8 @@ from repro.obs.recorder import (
     installed_sinks,
     recording,
     recording_active,
+    replay,
+    reset,
     scope,
     span,
     trace_event,
@@ -69,6 +72,7 @@ __all__ = [
     "canonical_event",
     "canonical_events",
     "read_trace",
+    "read_trace_lenient",
     "validate_event",
     "validate_events",
     "validate_trace_file",
@@ -92,6 +96,8 @@ __all__ = [
     "installed_sinks",
     "recording",
     "recording_active",
+    "replay",
+    "reset",
     "scope",
     "span",
     "trace_event",

@@ -154,6 +154,35 @@ def read_trace(path) -> list[dict]:
     return events
 
 
+def read_trace_lenient(path) -> tuple[list[dict], int]:
+    """Load the schema-valid prefix-tolerant view of a JSONL trace.
+
+    Unlike :func:`read_trace`, a malformed line does not raise: it is
+    skipped and counted.  This is the reader for worker-local traces of a
+    process fleet — a SIGKILLed worker legitimately leaves a torn final
+    line (each line is flushed whole, so at most the tail is damaged), and
+    the supervisor still wants every intact event before it.  Returns
+    ``(events, skipped_lines)``.
+    """
+    events: list[dict] = []
+    skipped = 0
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            if validate_event(event):
+                skipped += 1
+                continue
+            events.append(event)
+    return events, skipped
+
+
 def canonical_event(event: dict) -> dict:
     """Strip the volatile fields (timestamps, durations) from one event."""
     return {key: value for key, value in event.items() if key not in VOLATILE_FIELDS}

@@ -150,12 +150,21 @@ def _build_entry(name: str, path: Path, config,
 
     with obs.span("serve.model_load", model=name, generation=version) as sp:
         qmodel = load_quantized_model(path, lazy=True, verify=verify)
-        if config is None:
-            config = get_config(_infer_config(qmodel))
-        elif isinstance(config, str):
-            config = get_config(config)
-        model = build_model(config, task="encoder", rng=0)
-        attach_quantized_linears(model, qmodel)
+        try:
+            if config is None:
+                config = get_config(_infer_config(qmodel))
+            elif isinstance(config, str):
+                config = get_config(config)
+            model = build_model(config, task="encoder", rng=0)
+            attach_quantized_linears(model, qmodel)
+        except BaseException:
+            # A failed build must not leak the archive reader the lazy load
+            # just opened — close it before the error propagates (the entry
+            # that would own it is never constructed).
+            closer = getattr(qmodel.quantized, "close", None)
+            if closer is not None:
+                closer()
+            raise
         sp.set(config=config.name, layers=len(qmodel.fc_names))
     return ModelEntry(
         name=name,

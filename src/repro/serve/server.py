@@ -242,9 +242,11 @@ def _make_handler(server: QuantServer):
                     }
                 except ModelNotFoundError as exc:
                     status, payload = 404, {"error": str(exc)}
-                except (SerializationError, ConfigError, OSError) as exc:
-                    # Load failure: the old entry was never swapped out, so
-                    # the model keeps serving its previous weights.
+                except (SerializationError, ConfigError, OSError,
+                        ValueError, ReproError) as exc:
+                    # Load or build failure (torn archive, drifted weights,
+                    # shape mismatch): the old entry was never swapped out,
+                    # so the model keeps serving its previous weights.
                     status, payload = 500, {
                         "error": f"reload failed, previous version still "
                                  f"serving: {exc}"

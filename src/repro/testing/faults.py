@@ -29,11 +29,24 @@ Durability-oriented injectors exercise the job subsystem end-to-end:
 * :class:`CrashOnCall` / :func:`crash_process` — SIGKILL the process on the
   Nth injector call: the crash the journal + ``--resume`` path recovers from.
 
-Because kill-and-resume tests need faults inside a *subprocess*, injectors
-can be described as text specs (``"crash:3"``, ``"hang:layer2"``,
-``"slow:0.2"``, ``"transient-io:layer1:2"``) parsed by
-:func:`injector_from_spec`; the CLI builds one from the ``REPRO_FAULTS``
-environment variable via :func:`injector_from_env`.
+Process-fleet injectors target one worker *process* of a
+``backend="process"`` run (:mod:`repro.jobs.fleet`) by worker id:
+
+* :class:`KillWorker` — SIGKILL the targeted worker mid-layer: the
+  supervisor must reassign the leased layer to a survivor.
+* :class:`MuteWorker` — mute the worker's heartbeats and wedge it: the
+  supervisor's liveness monitor must declare it dead and SIGKILL it.
+* :class:`HangWorker` — cooperatively hang the worker's current layer while
+  heartbeats keep flowing: the *worker-local* watchdog must time it out.
+
+Because kill-and-resume tests need faults inside a *subprocess* — and fleet
+workers cannot receive injector objects at all (they hold locks, which do
+not pickle) — injectors can be described as text specs (``"crash:3"``,
+``"hang:layer2"``, ``"slow:0.2"``, ``"transient-io:layer1:2"``,
+``"kill-worker:1"``) parsed by :func:`injector_from_spec`; the CLI builds
+one from the ``REPRO_FAULTS`` environment variable via
+:func:`injector_from_env`, and each fleet worker rebuilds its own from the
+spec (stateful injectors count per worker, not globally).
 
 Storage-level injectors simulate the two ways an archive dies on disk:
 
@@ -279,6 +292,95 @@ class CrashOnCall:
         return None
 
 
+@dataclass
+class KillWorker:
+    """SIGKILL fleet worker ``worker`` on its ``nth`` injector call (1-based).
+
+    The canonical fleet chaos fault: targets one worker process by id
+    (:func:`repro.jobs.fleet.current_worker_id`), counts calls within that
+    worker only, and dies mid-layer with no cleanup.  The supervisor must
+    reassign the leased layer to a survivor and the final archive must be
+    byte-identical to an undisturbed run.  Outside a fleet worker this
+    injector never matches, so the same ``REPRO_FAULTS`` spec is inert
+    under the thread backend.
+    """
+
+    worker: int
+    nth: int = 1
+    _calls: int = field(default=0, repr=False)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def __call__(self, index: int, job: LayerJob, weights: np.ndarray):
+        from repro.jobs.fleet import current_worker_id
+
+        if current_worker_id() != self.worker:
+            return None
+        with self._lock:
+            self._calls += 1
+            hit = self._calls == self.nth
+        if hit:
+            crash_process()
+        return None
+
+
+@dataclass
+class MuteWorker:
+    """Silence worker ``worker``'s heartbeats, then wedge it.
+
+    Simulates the worker that is alive but unresponsive — stuck in
+    GIL-holding native code, swapping, or otherwise never beating.  The
+    fault mutes the heartbeat thread
+    (:func:`repro.jobs.fleet.mute_heartbeat`) and then sleeps without
+    checkpointing; the supervisor must notice the silence, SIGKILL the
+    worker and reassign its layer.  ``max_seconds`` bounds the wedge so a
+    misconfigured harness fails loudly instead of hanging.
+    """
+
+    worker: int
+    max_seconds: float = 30.0
+
+    def __call__(self, index: int, job: LayerJob, weights: np.ndarray):
+        from repro.jobs.fleet import current_worker_id, mute_heartbeat
+
+        if current_worker_id() != self.worker:
+            return None
+        mute_heartbeat()
+        time.sleep(self.max_seconds)  # the supervisor SIGKILLs us long before
+        raise InjectedFault(
+            f"MuteWorker outlived {self.max_seconds}s of silence "
+            f"(layer {job.name!r}): did the supervisor's liveness check run?"
+        )
+
+
+@dataclass
+class HangWorker:
+    """Cooperatively hang worker ``worker``'s current layer.
+
+    The fleet counterpart of :class:`HangOnLayer`: the stall polls
+    :func:`repro.jobs.watchdog.checkpoint`, so the *worker-local* watchdog
+    converts it into a ``timeout`` failure while heartbeats keep flowing —
+    proving per-layer deadlines still work inside fleet workers, distinct
+    from the heartbeat-silence path :class:`MuteWorker` exercises.
+    """
+
+    worker: int
+    max_seconds: float = 30.0
+
+    def __call__(self, index: int, job: LayerJob, weights: np.ndarray):
+        from repro.jobs.fleet import current_worker_id
+
+        if current_worker_id() != self.worker:
+            return None
+        give_up = time.monotonic() + self.max_seconds
+        while time.monotonic() < give_up:
+            checkpoint()  # raises LayerTimeoutError when the deadline expires
+            time.sleep(0.002)
+        raise InjectedFault(
+            f"HangWorker gave up after {self.max_seconds}s without a deadline "
+            f"(layer {job.name!r}): was layer_timeout set?"
+        )
+
+
 def _matches_layer(selector: int | str, index: int, job: LayerJob) -> bool:
     if isinstance(selector, str):
         return job.name == selector
@@ -304,6 +406,9 @@ def injector_from_spec(spec: str):
         transient-io:LAYER[:N]    TransientIOFault (default N=1)
         crash:NTH                 CrashOnCall
         poison:LAYER[:MODE]       PoisonTensor
+        kill-worker:W[:NTH]       KillWorker (fleet worker W, default NTH=1)
+        mute-worker:W[:MAXS]      MuteWorker (fleet worker W)
+        hang-worker:W[:MAXS]      HangWorker (fleet worker W)
 
     Returns None for an empty spec.  Raises ``ValueError`` on anything it
     cannot parse — a silently ignored fault spec would make a kill test
@@ -336,6 +441,18 @@ def injector_from_spec(spec: str):
                 layer = _parse_layer(args[0])
                 mode = args[1] if len(args) > 1 else "nan"
                 injectors.append(PoisonTensor(layer, mode=mode))
+            elif kind == "kill-worker":
+                worker = int(args[0])
+                nth = int(args[1]) if len(args) > 1 else 1
+                injectors.append(KillWorker(worker, nth=nth))
+            elif kind == "mute-worker":
+                worker = int(args[0])
+                max_seconds = float(args[1]) if len(args) > 1 else 30.0
+                injectors.append(MuteWorker(worker, max_seconds=max_seconds))
+            elif kind == "hang-worker":
+                worker = int(args[0])
+                max_seconds = float(args[1]) if len(args) > 1 else 30.0
+                injectors.append(HangWorker(worker, max_seconds=max_seconds))
             else:
                 raise ValueError(f"unknown fault kind {kind!r}")
         except (IndexError, ValueError) as exc:

@@ -183,10 +183,17 @@ class TestLazyVerify:
         with pytest.raises(ChecksumMismatchError, match="CRC"):
             model.quantized["w"]
 
-    def test_corrupt_member_silently_loads_without_verify(self, corrupt_archive):
-        # The documented historical gap, kept as the lazy default: no
-        # verification means the flipped byte decodes into wrong codes.
+    def test_lazy_default_catches_corruption_on_access(self, corrupt_archive):
+        # The historical gap is closed: a bare lazy load defaults to
+        # per-member CRC verification and refuses the flipped byte.
         model = load_quantized_model(corrupt_archive, lazy=True)
+        with pytest.raises(ChecksumMismatchError, match="CRC"):
+            model.quantized["w"]
+
+    def test_corrupt_member_silently_loads_with_verify_none(self, corrupt_archive):
+        # The opt-out keeps the old behavior reachable: no verification
+        # means the flipped byte decodes into wrong codes without error.
+        model = load_quantized_model(corrupt_archive, lazy=True, verify="none")
         tensor = model.quantized["w"]  # no error raised
         assert tensor.shape == (4, 5)
 

@@ -1,0 +1,150 @@
+"""Method-zoo benchmark: every registered spec through the engine, timed.
+
+Runs each spec from :func:`repro.quant.registry.available_specs` end-to-end
+on an untrained tiny model (no fine-tuning, so this file runs in smoke mode
+too): quantize, reconstruct, archive, and re-run with a second worker count
+to prove archive bytes are worker-independent.  ``test_record_bench_methods_json``
+writes ``BENCH_methods.json`` to ``benchmarks/results/`` (own ``perf_counter``
+timings, so it records under ``--benchmark-disable``);
+``scripts/check_bench.py`` schema-checks it (``bench-methods/v1``), and the
+committed baseline lives at ``benchmarks/BENCH_methods.json``.
+
+Measured compression ratios on tiny tensors are dominated by centroid-table
+overhead (a 2^8-entry table next to a 500-element tensor), so the gated CR
+column is the analytic full-scale one (:func:`zoo_model_bytes` at BERT-Base
+dimensions) — identical to what Table III reports.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import _smoke_mode
+from repro.core.model_quantizer import select_parameters
+from repro.core.serialization import save_quantized_model
+from repro.experiments.tables import (
+    _average_outlier_fraction,
+    fp32_model_bytes,
+    zoo_model_bytes,
+)
+from repro.models import build_model, get_config
+from repro.quant.registry import available_specs, build_quantizer
+
+MODEL = "tiny-distilbert"
+FULL_SCALE_MODEL = "bert-base"
+WORKER_COUNTS = (1, 2)
+REPEATS = 1 if _smoke_mode() else 2
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_model(get_config(MODEL), task="encoder", rng=0)
+
+
+@pytest.fixture(scope="module")
+def selection(model):
+    return select_parameters(model)
+
+
+def _run_spec(spec, model, selection, workers):
+    quantizer = build_quantizer(spec)
+    return quantizer.quantize(
+        model.state_dict(),
+        selection.fc_names,
+        selection.embedding_names,
+        workers=workers,
+    )
+
+
+def _rmse(state, quantized):
+    reconstructed = quantized.state_dict(np.float64)
+    total, count = 0.0, 0
+    for name in quantized.quantized:
+        diff = np.asarray(state[name], dtype=np.float64) - reconstructed[name]
+        total += float(np.square(diff).sum())
+        count += diff.size
+    return (total / count) ** 0.5
+
+
+@pytest.mark.parametrize("spec", available_specs())
+def test_bench_method_spec(benchmark, spec, model, selection):
+    quantized = benchmark.pedantic(
+        lambda: _run_spec(spec, model, selection, workers=1),
+        rounds=REPEATS, iterations=1,
+    )
+    assert not quantized.report.failures
+    assert _rmse(model.state_dict(), quantized) < 0.05
+
+
+def test_record_bench_methods_json(results_dir, tmp_path, model, selection):
+    """Record the BENCH_methods.json baseline (see module docstring)."""
+    config = get_config(FULL_SCALE_MODEL)
+    fp32 = fp32_model_bytes(config)
+    outlier_fraction = _average_outlier_fraction(FULL_SCALE_MODEL)
+    state = model.state_dict()
+
+    per_spec = {}
+    for spec in available_specs():
+        best, quantized = float("inf"), None
+        for _ in range(REPEATS):
+            start = time.perf_counter()
+            out = _run_spec(spec, model, selection, workers=1)
+            elapsed = time.perf_counter() - start
+            if elapsed < best:
+                best, quantized = elapsed, out
+        archives = []
+        for index, workers in enumerate(WORKER_COUNTS):
+            result = quantized if workers == 1 else _run_spec(
+                spec, model, selection, workers=workers
+            )
+            path = tmp_path / f"{spec}-w{workers}.npz"
+            save_quantized_model(result, path)
+            archives.append(path.read_bytes())
+        per_spec[spec] = {
+            "seconds": best,
+            "compression_ratio": quantized.model_compression_ratio(),
+            "full_scale_compression_ratio": fp32
+            / zoo_model_bytes(config, spec, outlier_fraction),
+            "rmse": _rmse(state, quantized),
+            "byte_identical": all(blob == archives[0] for blob in archives),
+        }
+
+    record = {
+        "schema": "bench-methods/v1",
+        "smoke": _smoke_mode(),
+        "config": {
+            "model": MODEL,
+            "full_scale_model": FULL_SCALE_MODEL,
+            "specs": list(available_specs()),
+            "workers": list(WORKER_COUNTS),
+            "repeats": REPEATS,
+            "cpu_count": os.cpu_count() or 1,
+        },
+        "measurements": {"specs": per_spec},
+    }
+    out = results_dir / "BENCH_methods.json"
+    out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    slowest = max(per_spec, key=lambda spec: per_spec[spec]["seconds"])
+    print(
+        f"\n[written to benchmarks/results/BENCH_methods.json] "
+        f"{len(per_spec)} specs, slowest {slowest} "
+        f"{per_spec[slowest]['seconds'] * 1000:.0f}ms"
+    )
+
+    # Worker-count independence is the hardware-independent gate.
+    for spec, row in per_spec.items():
+        assert row["byte_identical"], f"{spec} archives differ across worker counts"
+
+
+def test_bench_methods_json_is_fresh(results_dir):
+    if os.environ.get("PYTEST_XDIST_WORKER"):
+        pytest.skip("ordering not guaranteed under xdist")
+    path = results_dir / "BENCH_methods.json"
+    assert path.exists(), "test_record_bench_methods_json did not run first"
+    record = json.loads(path.read_text())
+    assert record["schema"] == "bench-methods/v1"

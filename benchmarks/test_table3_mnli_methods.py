@@ -6,7 +6,7 @@ paper's column (4x, ~7.8x, ~6.5x, ~9.8x, ~7.9x).
 """
 
 from benchmarks.conftest import emit, run_once
-from repro.experiments.tables import table3_method_comparison
+from repro.experiments.tables import table3_method_comparison, table3_method_zoo
 
 
 def test_table3_method_comparison(benchmark, results_dir):
@@ -36,3 +36,36 @@ def test_table3_method_comparison(benchmark, results_dir):
         assert baseline - accuracy(key) < 5.0, key
     # GOBO at 4 bits is lossless-or-better.
     assert baseline - accuracy("GOBO:4-bit") <= 0.5
+
+
+def test_table3_method_zoo(benchmark, results_dir):
+    """Every registered spec, end-to-end: accuracy + full-scale CR."""
+    from repro.quant.registry import available_specs
+
+    result = run_once(benchmark, table3_method_zoo)
+    text = result.render()
+    emit(results_dir, "table3_method_zoo.txt", text)
+
+    rows = {row[0]: row for row in result.rows}
+    # One row per registered spec, plus the FP32 baseline.
+    assert set(rows) == set(available_specs()) | {"Baseline"}
+    assert len(available_specs()) >= 8
+
+    ratio = {
+        spec: float(rows[spec][-1].rstrip("x")) for spec in available_specs()
+    }
+    # The paper's full-scale ordering survives the zoo extension.
+    assert ratio["gobo-3bit"] > ratio["qbert-3bit"] > ratio["q8bert"]
+    # Zero-shot pays for its 8-bit grid; mixed allocation beats its own budget
+    # floor (12% budget = 8.33x before embeddings ride along at 4 bits).
+    assert ratio["zeroshot"] < ratio["q8bert"] + 0.5
+    assert ratio["mixed-12pct"] > 7.0
+
+    def accuracy(spec: str) -> float:
+        return float(rows[spec][1].rstrip("%"))
+
+    baseline = accuracy("Baseline")
+    for spec in available_specs():
+        assert baseline - accuracy(spec) < 6.0, spec
+    # The 8-bit zero-shot grid is near-lossless without any calibration.
+    assert baseline - accuracy("zeroshot") <= 0.5

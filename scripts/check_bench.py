@@ -24,6 +24,12 @@ The record's ``schema`` field selects the contract:
   ``speedup_process_vs_thread >= 1.0`` gate applies only to non-smoke
   records from multi-core hosts — on one CPU the fleet's fork+IPC
   overhead is unamortizable and the honest number is below 1.
+* ``bench-methods/v1`` — the method zoo: one entry per registered spec
+  (at least 8).  Fails if any spec's archives differ across worker counts,
+  if a timing/ratio is non-positive or non-finite, or if the full-scale
+  compression ordering flips (GOBO 3-bit > Q-BERT 3-bit > Q8BERT).
+  Measured tiny-model CRs are recorded but not gated (centroid-table
+  overhead dominates tiny tensors).
 """
 
 from __future__ import annotations
@@ -36,6 +42,7 @@ from pathlib import Path
 SCHEMA = "bench-kernels/v1"
 SERVE_SCHEMA = "bench-serve/v1"
 JOBS_SCHEMA = "bench-jobs/v1"
+METHODS_SCHEMA = "bench-methods/v1"
 GATE_SPEEDUP_BATCH1 = 1.0
 GATE_SPEEDUP_FLEET = 1.0
 
@@ -79,6 +86,17 @@ REQUIRED_JOBS_MEASUREMENTS = (
 )
 REQUIRED_JOBS_CONFIG = ("layers", "shape", "workers", "repeats", "cpu_count")
 
+REQUIRED_METHODS_SPEC_MEASUREMENTS = (
+    "seconds",
+    "compression_ratio",
+    "full_scale_compression_ratio",
+    "rmse",
+)
+REQUIRED_METHODS_CONFIG = (
+    "model", "full_scale_model", "specs", "workers", "repeats", "cpu_count",
+)
+MIN_METHOD_SPECS = 8
+
 
 def fail(message: str) -> None:
     print(f"check_bench: FAIL: {message}", file=sys.stderr)
@@ -107,9 +125,11 @@ def check(path: Path) -> int:
         return check_serve(record, path)
     if schema == JOBS_SCHEMA:
         return check_jobs(record, path)
+    if schema == METHODS_SCHEMA:
+        return check_methods(record, path)
     if schema != SCHEMA:
-        fail(f"schema mismatch: expected {SCHEMA!r}, {SERVE_SCHEMA!r} or "
-             f"{JOBS_SCHEMA!r}, got {schema!r}")
+        fail(f"schema mismatch: expected {SCHEMA!r}, {SERVE_SCHEMA!r}, "
+             f"{JOBS_SCHEMA!r} or {METHODS_SCHEMA!r}, got {schema!r}")
     if not isinstance(record.get("smoke"), bool):
         fail("missing boolean 'smoke' field")
     config = record.get("config")
@@ -225,6 +245,65 @@ def check_jobs(record: dict, path: Path) -> int:
         f"{measurements['thread_seconds'] * 1000:.0f}ms, process "
         f"{measurements['process_seconds'] * 1000:.0f}ms "
         f"({speedup:.2f}x, {note}), byte-identical"
+    )
+    return 0
+
+
+def check_methods(record: dict, path: Path) -> int:
+    if not isinstance(record.get("smoke"), bool):
+        fail("missing boolean 'smoke' field")
+    config = record.get("config")
+    if not isinstance(config, dict):
+        fail("missing 'config' object")
+    for key in REQUIRED_METHODS_CONFIG:
+        if key not in config:
+            fail(f"config.{key} missing")
+    measurements = record.get("measurements")
+    if not isinstance(measurements, dict):
+        fail("missing 'measurements' object")
+    specs = measurements.get("specs")
+    if not isinstance(specs, dict):
+        fail("measurements.specs missing")
+    if len(specs) < MIN_METHOD_SPECS:
+        fail(f"only {len(specs)} method specs recorded; the zoo needs at "
+             f"least {MIN_METHOD_SPECS}")
+    if set(specs) != set(config["specs"]):
+        fail("measurements.specs does not match config.specs")
+    for spec, row in specs.items():
+        if not isinstance(row, dict):
+            fail(f"measurements.specs.{spec} is not an object")
+        for key in REQUIRED_METHODS_SPEC_MEASUREMENTS:
+            if key == "rmse":
+                value = row.get(key)
+                ok = (isinstance(value, (int, float))
+                      and not isinstance(value, bool)
+                      and math.isfinite(value) and value >= 0)
+                if not ok:
+                    fail(f"measurements.specs.{spec}.rmse must be finite and "
+                         f"non-negative, got {value!r}")
+            else:
+                positive_number(row, key, f"measurements.specs.{spec}")
+        if row.get("byte_identical") is not True:
+            fail(f"{spec} archives were not byte-identical across worker counts")
+
+    def full_scale(spec: str) -> float:
+        if spec not in specs:
+            fail(f"ordering gate needs spec {spec!r} in the record")
+        return specs[spec]["full_scale_compression_ratio"]
+
+    if not full_scale("gobo-3bit") > full_scale("qbert-3bit") > full_scale("q8bert"):
+        fail("full-scale compression ordering flipped: expected "
+             "gobo-3bit > qbert-3bit > q8bert, got "
+             f"{full_scale('gobo-3bit'):.2f} / {full_scale('qbert-3bit'):.2f} "
+             f"/ {full_scale('q8bert'):.2f}")
+    slowest = max(specs, key=lambda spec: specs[spec]["seconds"])
+    print(
+        f"check_bench: OK: {path} ({config['model']}, smoke={record['smoke']}) — "
+        f"{len(specs)} specs byte-identical across workers {config['workers']}, "
+        f"full-scale CR {full_scale('gobo-3bit'):.2f}x (gobo-3bit) > "
+        f"{full_scale('qbert-3bit'):.2f}x (qbert-3bit) > "
+        f"{full_scale('q8bert'):.2f}x (q8bert), slowest {slowest} "
+        f"{specs[slowest]['seconds'] * 1000:.0f}ms"
     )
     return 0
 

@@ -13,7 +13,12 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
-from repro.testing.golden import GOLDEN_VERSIONS, write_golden  # noqa: E402
+from repro.testing.golden import (  # noqa: E402
+    GOLDEN_VERSIONS,
+    METHOD_GOLDENS,
+    write_golden,
+    write_method_golden,
+)
 
 DATA_DIR = Path(__file__).resolve().parents[1] / "tests" / "data"
 
@@ -21,6 +26,9 @@ DATA_DIR = Path(__file__).resolve().parents[1] / "tests" / "data"
 def main() -> int:
     for version in GOLDEN_VERSIONS:
         path = write_golden(DATA_DIR, version)
+        print(f"wrote {path} ({path.stat().st_size} bytes)")
+    for method in METHOD_GOLDENS:
+        path = write_method_golden(DATA_DIR, method)
         print(f"wrote {path} ({path.stat().st_size} bytes)")
     return 0
 

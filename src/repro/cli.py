@@ -93,6 +93,23 @@ def _cmd_quantize(args: argparse.Namespace) -> int:
     from repro.models import build_model, get_config
     from repro.testing.faults import injector_from_env
 
+    if args.method == "help":
+        from repro.quant.registry import describe_specs
+
+        print(describe_specs())
+        return 0
+    # Legacy tensor-method names drive the default GOBO pipeline with the
+    # --weight-bits/--embedding-bits flags; anything else is a registry spec
+    # (its own bit widths travel inside the spec string).
+    spec_quantizer = None
+    if args.method not in ("gobo", "kmeans", "linear"):
+        from repro.quant.registry import build_quantizer
+
+        try:
+            spec_quantizer = build_quantizer(args.method)
+        except ConfigError as exc:
+            print(exc, file=sys.stderr)
+            return 2
     try:
         config = get_config(args.config)
     except ConfigError as exc:
@@ -151,21 +168,40 @@ def _cmd_quantize(args: argparse.Namespace) -> int:
         obs.install(sink)
     try:
         with GracefulInterrupt() as interrupt:
-            quantized = quantize_model(
-                model,
-                weight_bits=args.weight_bits,
-                embedding_bits=embedding_bits,
-                method=args.method,
-                workers=args.workers,
-                on_error=args.on_error,
-                validation=args.validation,
-                fault_injector=fault_injector,
-                layer_timeout=args.layer_timeout,
-                transient_retries=args.transient_retries,
-                cancel=interrupt.event,
-                backend=backend,
-                engine=engine,
-            )
+            if spec_quantizer is None:
+                quantized = quantize_model(
+                    model,
+                    weight_bits=args.weight_bits,
+                    embedding_bits=embedding_bits,
+                    method=args.method,
+                    workers=args.workers,
+                    on_error=args.on_error,
+                    validation=args.validation,
+                    fault_injector=fault_injector,
+                    layer_timeout=args.layer_timeout,
+                    transient_retries=args.transient_retries,
+                    cancel=interrupt.event,
+                    backend=backend,
+                    engine=engine,
+                )
+            else:
+                from repro.core.model_quantizer import select_parameters
+
+                selection = select_parameters(model)
+                quantized = spec_quantizer.quantize(
+                    model.state_dict(),
+                    selection.fc_names,
+                    selection.embedding_names,
+                    workers=args.workers,
+                    on_error=args.on_error,
+                    validation=args.validation,
+                    fault_injector=fault_injector,
+                    layer_timeout=args.layer_timeout,
+                    transient_retries=args.transient_retries,
+                    cancel=interrupt.event,
+                    backend=backend,
+                    engine=engine,
+                )
         report = quantized.report
         if not report.interrupted and args.out:
             archive_size = save_quantized_model(quantized, args.out)
@@ -355,8 +391,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="bits for embedding tables, or 'none' to leave them FP32",
     )
     quantize.add_argument(
-        "--method", default="gobo", choices=("gobo", "kmeans", "linear"),
-        help="centroid selection method",
+        "--method", default="gobo",
+        help="tensor method (gobo/kmeans/linear, honoring --weight-bits/"
+        "--embedding-bits) or a registered method spec like 'zeroshot', "
+        "'gwq-4bit' or 'mixed-12pct' (spec options override the bit flags); "
+        "'help' lists every spec",
     )
     quantize.add_argument(
         "--workers", type=int, default=None,

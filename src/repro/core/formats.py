@@ -79,8 +79,10 @@ def storage_report(total_weights: int, outliers: int, bits: int) -> StorageRepor
         raise ValueError(
             f"invalid counts: total={total_weights}, outliers={outliers}"
         )
-    if not 1 <= bits <= 8:
-        raise ValueError(f"bits must be in [1, 8], got {bits}")
+    # GOBO proper uses 1-8 bits; group-table encodings (qbert-group) pack
+    # wider global code spaces, up to the bitpack limit.
+    if not 1 <= bits <= 16:
+        raise ValueError(f"bits must be in [1, 16], got {bits}")
     gaussian = total_weights - outliers
     return StorageReport(
         total_weights=total_weights,

@@ -153,6 +153,8 @@ def quantize_state_dict(
     cancel=None,
     backend: str | None = None,
     engine=None,
+    embedding_method: str | None = None,
+    aux: dict[str, np.ndarray] | None = None,
 ) -> QuantizedModel:
     """Quantize selected tensors of a state dict; pass the rest through.
 
@@ -186,6 +188,12 @@ def quantize_state_dict(
     FP32 pass-through dict, so the model remains loadable; a layer dropped
     by ``on_error="skip"`` is removed from the output entirely — the
     caller opted into an incomplete model and ``report.failures`` says so.
+
+    ``embedding_method`` optionally quantizes embedding tables with a
+    different tensor method than the FC layers (Q-BERT's recipe: group-wise
+    FC codes, symmetric 8-bit embeddings); ``None`` uses ``method`` for
+    both.  ``aux`` maps layer names to per-layer side data forwarded to the
+    tensor method (see :class:`repro.core.quantizer.TensorMethodContext`).
     """
     policy = weight_bits if isinstance(weight_bits, LayerPolicy) else LayerPolicy.uniform(weight_bits)
     missing = [n for n in (*fc_names, *embedding_names) if n not in state]
@@ -194,7 +202,10 @@ def quantize_state_dict(
 
     jobs = [LayerJob(name=name, bits=policy.bits_for(name)) for name in fc_names]
     if embedding_bits is not None:
-        jobs.extend(LayerJob(name=name, bits=embedding_bits) for name in embedding_names)
+        jobs.extend(
+            LayerJob(name=name, bits=embedding_bits, method=embedding_method)
+            for name in embedding_names
+        )
     run_engine = engine if engine is not None else quantize_layers
     quantized, iterations, report = run_engine(
         state,
@@ -209,6 +220,7 @@ def quantize_state_dict(
         transient_retries=transient_retries,
         cancel=cancel,
         backend=backend,
+        aux=aux,
     )
 
     dropped = {failure.name for failure in report.failures if failure.dropped}

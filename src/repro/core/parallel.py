@@ -112,10 +112,16 @@ FaultInjector = Callable[[int, "LayerJob", np.ndarray], "np.ndarray | None"]
 
 @dataclass(frozen=True)
 class LayerJob:
-    """One unit of work for the engine: quantize ``name`` at ``bits``."""
+    """One unit of work for the engine: quantize ``name`` at ``bits``.
+
+    ``method`` optionally overrides the run-wide tensor method for this one
+    layer (e.g. Q-BERT quantizes FC layers group-wise but embeddings with a
+    symmetric 8-bit grid); ``None`` inherits the run default.
+    """
 
     name: str
     bits: int
+    method: str | None = None
 
 
 @dataclass(frozen=True)
@@ -464,6 +470,7 @@ class JobRunner:
     transient_retries: int = 0
     transient_backoff: float = DEFAULT_BACKOFF_BASE
     watchdog: Watchdog | None = None
+    aux: Mapping[str, np.ndarray] | None = None
 
     def attempt(
         self, index: int, job: LayerJob, bits: int
@@ -478,9 +485,10 @@ class JobRunner:
                 weights,
                 bits=bits,
                 log_prob_threshold=self.log_prob_threshold,
-                method=self.method,
+                method=job.method or self.method,
                 max_iterations=self.max_iterations,
                 validation=self.validation,
+                aux=None if self.aux is None else self.aux.get(job.name),
             )
             original_bytes = tensor.total_count * BYTES_PER_FP32
             compressed_bytes = tensor.storage().compressed_bytes
@@ -682,6 +690,7 @@ def quantize_layers(
     cancel: "threading.Event | None" = None,
     on_layer_complete: "Callable[[LayerOutcome], None] | None" = None,
     backend: str | None = None,
+    aux: Mapping[str, np.ndarray] | None = None,
 ) -> tuple[dict[str, GoboQuantizedTensor], dict[str, int], QuantizationReport]:
     """Quantize every job's tensor, optionally fanning out over threads.
 
@@ -705,6 +714,10 @@ def quantize_layers(
     delegates to the supervised worker fleet
     (:func:`repro.jobs.fleet.run_fleet_layers`) for crash isolation.  Both
     produce bit-identical archives; ``None`` consults ``REPRO_BACKEND``.
+
+    ``aux`` maps layer names to per-layer side data handed to the tensor
+    method (e.g. GWQ's precomputed saliency outlier masks); layers without
+    an entry receive ``None``.  Both backends deliver it identically.
 
     Returns ``(quantized, iterations, report)``; failed layers appear in
     ``report.failures`` instead of ``quantized``.
@@ -737,6 +750,7 @@ def quantize_layers(
             transient_backoff=transient_backoff,
             cancel=cancel,
             on_layer_complete=on_layer_complete,
+            aux=aux,
         )
     workers = resolve_workers(workers)
     on_error = resolve_on_error(on_error)
@@ -760,6 +774,7 @@ def quantize_layers(
         transient_retries=transient_retries,
         transient_backoff=transient_backoff,
         watchdog=watchdog,
+        aux=aux,
     )
 
     indexed = list(enumerate(jobs))

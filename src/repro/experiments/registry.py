@@ -34,6 +34,10 @@ EXPERIMENTS: dict[str, Experiment] = {
             tables.table3_method_comparison, True,
         ),
         Experiment(
+            "table3zoo", "Every registered method spec on MNLI",
+            tables.table3_method_zoo, True,
+        ),
+        Experiment(
             "table4", "Centroid policies: BERT-Base MNLI/STS-B, BERT-Large SQuAD",
             tables.table4_bert, True,
         ),

@@ -11,9 +11,13 @@ layers by the accuracy they cost.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
 
 from repro.core.model_quantizer import quantize_state_dict, select_parameters
 from repro.core.outliers import DEFAULT_LOG_PROB_THRESHOLD
+from repro.core.quantizer import quantize_tensor
 from repro.data.task import TaskData
 from repro.nn.module import Module
 from repro.training.trainer import evaluate
@@ -26,6 +30,58 @@ class LayerSensitivity:
     layer: str
     score: float
     drop: float
+
+
+@dataclass(frozen=True)
+class ReconstructionPoint:
+    """One (layer, bits) cell of a data-free sensitivity scan."""
+
+    layer: str
+    bits: int
+    squared_error: float
+    compressed_bytes: int
+
+
+def reconstruction_sensitivity_scan(
+    state: Mapping[str, np.ndarray],
+    layer_names: tuple[str, ...],
+    candidates: tuple[int, ...] = (2, 3, 4, 5),
+) -> dict[str, dict[int, ReconstructionPoint]]:
+    """Data-free per-layer sensitivity: reconstruction error vs bit width.
+
+    The accuracy-based :func:`layer_sensitivity_scan` needs a trained model
+    and an eval split; this variant needs only the state dict, making it
+    usable at quantization time (it is what
+    :class:`repro.quant.mixedbits.MixedBitsQuantizer` allocates from).  Each
+    layer is quantized at every candidate width with the non-iterative
+    uniform-partition method — a deterministic, fast proxy whose error
+    ordering across widths matches the clustered methods' — and scored by
+    total squared reconstruction error and byte cost.
+
+    Returns ``{layer: {bits: ReconstructionPoint}}``.
+    """
+    if not candidates:
+        raise ValueError("candidates must be non-empty")
+    scan: dict[str, dict[int, ReconstructionPoint]] = {}
+    for name in layer_names:
+        weights = np.asarray(state[name], dtype=np.float64)
+        per_bits: dict[int, ReconstructionPoint] = {}
+        for bits in sorted(set(candidates)):
+            # "repair" so pathological tensors still yield a (degenerate,
+            # exactly reconstructed) point; the real quantization pass
+            # applies the caller's validation policy.
+            tensor, _ = quantize_tensor(
+                weights, bits=bits, method="linear", validation="repair"
+            )
+            diff = weights - tensor.dequantize(dtype=np.float64)
+            per_bits[bits] = ReconstructionPoint(
+                layer=name,
+                bits=bits,
+                squared_error=float(np.square(diff).sum()),
+                compressed_bytes=tensor.storage().compressed_bytes,
+            )
+        scan[name] = per_bits
+    return scan
 
 
 def layer_sensitivity_scan(

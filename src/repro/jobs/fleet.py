@@ -274,6 +274,7 @@ def _worker_main(
     config: WorkerConfig,
     state: Mapping[str, np.ndarray],
     conn,
+    aux: Mapping[str, np.ndarray] | None = None,
 ) -> None:
     """Worker process entry point: recv tasks, run them, send outcomes.
 
@@ -323,6 +324,7 @@ def _worker_main(
         transient_retries=config.transient_retries,
         transient_backoff=config.transient_backoff,
         watchdog=watchdog,
+        aux=aux,
     )
     heartbeat.start()
     try:
@@ -385,6 +387,7 @@ def run_fleet_layers(
     transient_backoff: float = DEFAULT_BACKOFF_BASE,
     cancel: "threading.Event | None" = None,
     on_layer_complete: "Callable[[LayerOutcome], None] | None" = None,
+    aux: Mapping[str, np.ndarray] | None = None,
     *,
     journal: JobJournal | None = None,
     fault_spec: str | None = None,
@@ -480,8 +483,14 @@ def run_fleet_layers(
         heartbeat_interval=heartbeat_interval,
         obs_dir=str(obs_dir),
     )
-    # Workers only need the tensors they might quantize.
+    # Workers only need the tensors they might quantize (and any per-layer
+    # method side data for those same layers).
     needed = {job.name: state[job.name] for job in jobs}
+    needed_aux = (
+        None
+        if aux is None
+        else {job.name: aux[job.name] for job in jobs if job.name in aux}
+    )
 
     pending: deque[_PendingTask] = deque(
         _PendingTask(index, job) for index, job in enumerate(jobs)
@@ -629,7 +638,7 @@ def run_fleet_layers(
                     parent_conn, child_conn = ctx.Pipe(duplex=True)
                     process = ctx.Process(
                         target=_worker_main,
-                        args=(worker_id, config, needed, child_conn),
+                        args=(worker_id, config, needed, child_conn, needed_aux),
                         name=f"repro-fleet-{worker_id}",
                         daemon=True,
                     )

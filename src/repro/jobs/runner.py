@@ -147,6 +147,15 @@ def load_shard(path: Path) -> tuple[str, GoboQuantizedTensor, int]:
 
 # ---------------------------------------------------------------- fingerprint
 
+def _job_entry(job: LayerJob) -> list:
+    # Jobs without a per-layer method override keep the historical
+    # two-element encoding, so fingerprints of pre-existing job dirs are
+    # unchanged and remain resumable.
+    if job.method is None:
+        return [job.name, job.bits]
+    return [job.name, job.bits, job.method]
+
+
 def job_fingerprint(
     jobs: Iterable[LayerJob],
     method: str,
@@ -155,15 +164,19 @@ def job_fingerprint(
     on_error: str,
     max_iterations: int,
     extra: Mapping[str, object] | None = None,
+    aux: Mapping[str, np.ndarray] | None = None,
 ) -> str:
     """SHA-256 over everything that determines the run's output bytes.
 
     Worker count and supervision settings (timeout, retry budget) are
     excluded on purpose: they cannot change the output, so a job may be
-    resumed under different parallelism or deadlines.
+    resumed under different parallelism or deadlines.  ``aux`` side data
+    (per-layer method inputs such as GWQ saliency masks) *does* determine
+    output bytes, so its content is digested in — but only when present,
+    keeping fingerprints of aux-free jobs stable across versions.
     """
     record = {
-        "jobs": [[job.name, job.bits] for job in jobs],
+        "jobs": [_job_entry(job) for job in jobs],
         "method": method,
         "log_prob_threshold": float(log_prob_threshold),
         "validation": validation,
@@ -171,6 +184,13 @@ def job_fingerprint(
         "max_iterations": int(max_iterations),
         "extra": dict(sorted((extra or {}).items())),
     }
+    if aux:
+        record["aux"] = {
+            name: hashlib.sha256(
+                np.ascontiguousarray(np.asarray(value)).tobytes()
+            ).hexdigest()
+            for name, value in sorted(aux.items())
+        }
     return hashlib.sha256(canonical_record(record).encode("utf-8")).hexdigest()
 
 
@@ -231,6 +251,7 @@ def run_durable_layers(
     transient_retries: int | None = None,
     cancel=None,
     backend: str | None = None,
+    aux: Mapping[str, np.ndarray] | None = None,
     *,
     job_dir: str | Path,
     resume: bool = False,
@@ -262,6 +283,7 @@ def run_durable_layers(
         on_error=on_error_resolved,
         max_iterations=max_iterations,
         extra=fingerprint_extra,
+        aux=aux,
     )
     journal = JobJournal(job_dir)
 
@@ -328,7 +350,7 @@ def run_durable_layers(
                 "type": "job-meta",
                 "version": 1,
                 "fingerprint": fingerprint,
-                "jobs": [[job.name, job.bits] for job in jobs],
+                "jobs": [_job_entry(job) for job in jobs],
                 "params": {
                     "method": method,
                     "log_prob_threshold": float(log_prob_threshold),
@@ -392,6 +414,7 @@ def run_durable_layers(
         transient_retries=transient_retries,
         cancel=cancel,
         on_layer_complete=journal_layer,
+        aux=aux,
     )
 
     # Merge journaled work back in *original job order*, so the assembled
@@ -539,7 +562,7 @@ def job_status(job_dir: str | Path) -> JobStatus:
     status = JobStatus(
         job_dir=job_dir,
         fingerprint=None if meta is None else meta.get("fingerprint"),
-        jobs=[(name, int(bits)) for name, bits in (meta or {}).get("jobs", [])],
+        jobs=[(name, int(bits)) for name, bits, *_ in (meta or {}).get("jobs", [])],
         completed=[r["name"] for r in result.of_type("layer-done")],
         failed={
             r["failure"]["name"]: r["failure"]["action"]

@@ -101,6 +101,23 @@ class Module:
         for param in self.parameters():
             param.zero_grad()
 
+    def named_gradients(self) -> dict[str, np.ndarray]:
+        """Gradient arrays keyed by dotted path, after a ``backward`` call.
+
+        Parameters the backward pass never reached report zeros (their
+        sensitivity really is zero for that loss), so consumers like GWQ's
+        saliency ranking can treat the result as a dense gradient view of
+        :meth:`state_dict`.
+        """
+        return {
+            name: (
+                np.zeros_like(param.data)
+                if param.grad is None
+                else np.array(param.grad, dtype=np.float64, copy=True)
+            )
+            for name, param in self.named_parameters()
+        }
+
     # ------------------------------------------------------------------- call
     def forward(self, *args, **kwargs):
         raise NotImplementedError

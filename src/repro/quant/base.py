@@ -73,3 +73,83 @@ class ModelQuantizer(Protocol):
     ) -> CompressedModel:
         """Compress the named tensors of ``state``; pass the rest through."""
         ...
+
+
+class EngineBackedQuantizer:
+    """Base for quantizers that run through the layer-parallel engine.
+
+    Subclasses implement :meth:`engine_options` — the keyword arguments that
+    pick their tensor method, bit widths and any per-layer side data — and
+    inherit a full-featured :meth:`quantize` (deterministic, durable,
+    fault-policy-aware, any backend) plus the :class:`ModelQuantizer`
+    ``compress`` contract for the Table III harness.  Everything downstream
+    of the engine (serialization format v3, jobs, serving) works unchanged
+    for every subclass.
+    """
+
+    name: str = "engine"
+    requires_finetuning: bool = False
+
+    def engine_options(
+        self,
+        state: dict[str, np.ndarray],
+        fc_names: tuple[str, ...],
+        embedding_names: tuple[str, ...],
+    ) -> dict:
+        """Keyword arguments for ``quantize_state_dict`` (method, bits, aux)."""
+        raise NotImplementedError
+
+    def quantize(
+        self,
+        state: dict[str, np.ndarray],
+        fc_names: tuple[str, ...],
+        embedding_names: tuple[str, ...] = (),
+        *,
+        workers: int | None = None,
+        on_error: str | None = "fail",
+        validation: str = "strict",
+        fault_injector=None,
+        layer_timeout: float | None = None,
+        transient_retries: int | None = None,
+        cancel=None,
+        backend: str | None = None,
+        engine=None,
+    ):
+        """Run this method through the engine, returning a ``QuantizedModel``."""
+        # Lazy import: repro.quant must stay importable without dragging in
+        # the whole engine (plug-in tensor-method modules import the other way).
+        from repro.core.model_quantizer import quantize_state_dict
+
+        options = self.engine_options(state, fc_names, embedding_names)
+        return quantize_state_dict(
+            state,
+            fc_names=fc_names,
+            embedding_names=embedding_names,
+            workers=workers,
+            on_error=on_error,
+            validation=validation,
+            fault_injector=fault_injector,
+            layer_timeout=layer_timeout,
+            transient_retries=transient_retries,
+            cancel=cancel,
+            backend=backend,
+            engine=engine,
+            **options,
+        )
+
+    def compress(
+        self,
+        state: dict[str, np.ndarray],
+        fc_names: tuple[str, ...],
+        embedding_names: tuple[str, ...] = (),
+        workers: int | None = None,
+    ) -> CompressedModel:
+        quantized = self.quantize(state, fc_names, embedding_names, workers=workers)
+        tensors = {
+            name: CompressedTensor(
+                reconstructed=tensor.dequantize(dtype=np.float64),
+                compressed_bytes=tensor.storage().compressed_bytes,
+            )
+            for name, tensor in quantized.quantized.items()
+        }
+        return CompressedModel(method=self.name, tensors=tensors, fp32=dict(quantized.fp32))

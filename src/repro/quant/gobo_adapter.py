@@ -4,13 +4,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.model_quantizer import quantize_state_dict
 from repro.core.outliers import DEFAULT_LOG_PROB_THRESHOLD
 from repro.core.policy import LayerPolicy
-from repro.quant.base import CompressedModel, CompressedTensor
+from repro.quant.base import EngineBackedQuantizer
 
 
-class GoboModelQuantizer:
+class GoboModelQuantizer(EngineBackedQuantizer):
     """GOBO (or its centroid-policy ablations) behind the common interface."""
 
     requires_finetuning = False
@@ -29,30 +28,15 @@ class GoboModelQuantizer:
         suffix = "" if method == "gobo" else f"-{method}"
         self.name = f"gobo{suffix}"
 
-    def compress(
+    def engine_options(
         self,
         state: dict[str, np.ndarray],
         fc_names: tuple[str, ...],
         embedding_names: tuple[str, ...],
-        workers: int | None = None,
-    ) -> CompressedModel:
-        quantized = quantize_state_dict(
-            state,
-            fc_names=fc_names,
-            embedding_names=embedding_names,
-            weight_bits=self.weight_bits,
-            embedding_bits=self.embedding_bits,
-            method=self.method,
-            log_prob_threshold=self.log_prob_threshold,
-            workers=workers,
-        )
-        tensors = {
-            # float64 decode: the common interface's reconstructed tensors
-            # feed straight back into the float64 compute substrate.
-            name: CompressedTensor(
-                reconstructed=tensor.dequantize(dtype=np.float64),
-                compressed_bytes=tensor.storage().compressed_bytes,
-            )
-            for name, tensor in quantized.quantized.items()
+    ) -> dict:
+        return {
+            "weight_bits": self.weight_bits,
+            "embedding_bits": self.embedding_bits,
+            "method": self.method,
+            "log_prob_threshold": self.log_prob_threshold,
         }
-        return CompressedModel(method=self.name, tensors=tensors, fp32=dict(quantized.fp32))

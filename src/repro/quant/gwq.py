@@ -1,0 +1,232 @@
+"""GWQ-style gradient-aware outlier selection.
+
+*GWQ: Gradient-Aware Weight Quantization for Large Language Models* keeps
+the weights with the largest gradient saliency in FP32 and quantizes the
+rest at low precision — the insight being that first-order sensitivity, not
+distributional rarity, is what makes a weight an "outlier".  This module
+replaces GOBO's Gaussian log-probability split with a saliency ranking while
+reusing the GOBO centroid machinery (L1-monitored clustering) for the
+inlier group.
+
+Saliency needs gradients, which need a forward/backward pass, which needs a
+model — but quantization operates on bare state dicts.  So
+:class:`GwqQuantizer` rebuilds a proxy :class:`~repro.models.bert.BertModel`
+whose architecture is inferred from the state dict's tensor shapes, runs one
+deterministic synthetic batch through the existing :mod:`repro.nn` autograd
+tape, and ranks weights by ``|gradient x weight|`` (the first-order Taylor
+estimate of the loss change from zeroing a weight).  The per-layer outlier
+masks travel to the engine as ``aux`` side data; the ``"gwq"`` tensor method
+consumes them inside the engine, so archives stay format v3, deterministic
+and resumable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.clustering import gobo_cluster
+from repro.core.quantizer import (
+    TensorMethodContext,
+    TensorMethodResult,
+    register_tensor_method,
+)
+from repro.errors import QuantizationError
+from repro.quant.base import EngineBackedQuantizer
+
+_WORD_EMBEDDINGS = "embeddings.word_embeddings.weight"
+
+#: Proxy batch geometry: large enough to excite every head and FFN unit,
+#: small enough that the saliency pass is negligible next to clustering.
+PROXY_BATCH = 4
+PROXY_SEQ_LEN = 32
+
+
+def _gwq_method(weights: np.ndarray, ctx: TensorMethodContext) -> TensorMethodResult:
+    """Saliency-ranked outliers (from ``aux``) + GOBO centroids for inliers."""
+    flat = np.asarray(weights, dtype=np.float64).ravel()
+    if ctx.aux is None:
+        raise QuantizationError(
+            "the 'gwq' method needs a saliency outlier mask as aux data; "
+            "run it through GwqQuantizer (or pass aux= to the engine)"
+        )
+    mask = np.asarray(ctx.aux, dtype=bool).ravel()
+    if mask.size != flat.size:
+        raise QuantizationError(
+            f"gwq aux mask has {mask.size} entries for a {flat.size}-element tensor"
+        )
+    inliers = flat[~mask]
+    if inliers.size == 0:
+        raise QuantizationError("gwq mask classifies every weight as an outlier")
+    result = gobo_cluster(inliers, ctx.bits, max_iterations=ctx.max_iterations)
+    return TensorMethodResult(outlier_mask=mask.copy(), clustering=result)
+
+
+register_tensor_method("gwq", _gwq_method)
+
+
+def infer_bert_config(state: dict[str, np.ndarray], prefix: str):
+    """Reconstruct a proxy :class:`BertConfig` from state-dict tensor shapes.
+
+    Everything the proxy forward needs is recoverable: vocab/hidden from the
+    word-embedding table, depth by counting encoder layers, FFN width from
+    the intermediate projection (Linear weights are ``(out, in)``).  The
+    head count only shapes the attention reshape — any divisor of
+    ``hidden_size`` yields valid gradients — so the largest divisor ≤ 8 is
+    chosen deterministically.
+    """
+    from repro.models.config import BertConfig
+
+    def shape_of(name: str) -> tuple[int, ...]:
+        key = prefix + name
+        if key not in state:
+            raise QuantizationError(
+                f"cannot infer a proxy model for GWQ: state dict lacks {key!r}"
+            )
+        return np.asarray(state[key]).shape
+
+    vocab_size, hidden_size = shape_of(_WORD_EMBEDDINGS)
+    max_position = shape_of("embeddings.position_embeddings.weight")[0]
+    type_vocab_size = shape_of("embeddings.token_type_embeddings.weight")[0]
+    num_layers = len(
+        {
+            key[len(prefix) :].split(".")[1]
+            for key in state
+            if key.startswith(f"{prefix}encoder.")
+        }
+    )
+    if num_layers == 0:
+        raise QuantizationError(
+            "cannot infer a proxy model for GWQ: state dict has no encoder layers"
+        )
+    intermediate_size = shape_of("encoder.0.intermediate.weight")[0]
+    num_heads = next(h for h in range(min(8, hidden_size), 0, -1) if hidden_size % h == 0)
+    return BertConfig(
+        name="gwq-proxy",
+        vocab_size=vocab_size,
+        hidden_size=hidden_size,
+        num_layers=num_layers,
+        num_heads=num_heads,
+        intermediate_size=intermediate_size,
+        max_position=max_position,
+        type_vocab_size=type_vocab_size,
+        dropout_rate=0.0,
+    )
+
+
+def gradient_saliency(
+    state: dict[str, np.ndarray], seed: int = 0
+) -> dict[str, np.ndarray]:
+    """Per-weight ``|gradient x weight|`` from one synthetic proxy batch.
+
+    Returns saliency arrays keyed like ``state`` (BERT parameters only).
+    The loss is the energy of the output activations — with no labels
+    available, "which weights most move what the model computes" is the
+    zero-data sensitivity signal.  Deterministic in ``seed``; non-finite
+    weights are sanitized for the proxy pass only (the engine's validation
+    policy still judges the originals).
+    """
+    from repro.models.bert import BertModel
+
+    anchors = [key for key in state if key.endswith(_WORD_EMBEDDINGS)]
+    if not anchors:
+        raise QuantizationError(
+            "cannot infer a proxy model for GWQ: no word-embedding table "
+            f"(a key ending with {_WORD_EMBEDDINGS!r}) in the state dict"
+        )
+    prefix = min(anchors)[: -len(_WORD_EMBEDDINGS)]
+    config = infer_bert_config(state, prefix)
+    model = BertModel(config, rng=0)
+    proxy_state = {}
+    for name in model.state_dict():
+        key = prefix + name
+        if key not in state:
+            raise QuantizationError(
+                f"cannot infer a proxy model for GWQ: state dict lacks {key!r}"
+            )
+        # Non-finite entries become 0 (not float64 max, which would overflow
+        # the proxy matmuls); the engine's validation policy still judges
+        # the original values.
+        proxy_state[name] = np.nan_to_num(
+            np.asarray(state[key], dtype=np.float64),
+            copy=True, nan=0.0, posinf=0.0, neginf=0.0,
+        )
+    model.load_state_dict(proxy_state)
+    model.eval()
+    model.zero_grad()
+
+    rng = np.random.default_rng(seed)
+    seq_len = min(PROXY_SEQ_LEN, config.max_position)
+    input_ids = rng.integers(0, config.vocab_size, size=(PROXY_BATCH, seq_len))
+    hidden, pooled = model(input_ids)
+    loss = (hidden * hidden).mean() + (pooled * pooled).mean()
+    loss.backward()
+
+    return {
+        prefix + name: np.abs(grad) * np.abs(proxy_state[name])
+        for name, grad in model.named_gradients().items()
+    }
+
+
+def saliency_masks(
+    state: dict[str, np.ndarray],
+    names: tuple[str, ...],
+    outlier_pct: float,
+    seed: int = 0,
+) -> dict[str, np.ndarray]:
+    """Top-``outlier_pct``% saliency masks (flat bool) for each named layer."""
+    saliency = gradient_saliency(state, seed=seed)
+    masks: dict[str, np.ndarray] = {}
+    for name in names:
+        if name not in saliency:
+            raise QuantizationError(
+                f"layer {name!r} is not part of the inferred proxy model; "
+                "GWQ can only rank parameters the proxy forward reaches"
+            )
+        flat = saliency[name].ravel()
+        keep = int(round(flat.size * outlier_pct / 100.0))
+        keep = max(0, min(keep, flat.size - 1))
+        mask = np.zeros(flat.size, dtype=bool)
+        if keep:
+            order = np.argsort(-flat, kind="stable")
+            mask[order[:keep]] = True
+        masks[name] = mask
+    return masks
+
+
+class GwqQuantizer(EngineBackedQuantizer):
+    """Gradient-aware outlier selection + GOBO centroids, whole-model."""
+
+    requires_finetuning = False
+
+    def __init__(
+        self,
+        weight_bits: int = 3,
+        embedding_bits: int | None = 4,
+        outlier_pct: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= outlier_pct < 100.0:
+            raise QuantizationError(
+                f"outlier_pct must be in [0, 100), got {outlier_pct}"
+            )
+        self.weight_bits = weight_bits
+        self.embedding_bits = embedding_bits
+        self.outlier_pct = outlier_pct
+        self.seed = seed
+        self.name = f"gwq-{weight_bits}bit"
+
+    def engine_options(
+        self,
+        state: dict[str, np.ndarray],
+        fc_names: tuple[str, ...],
+        embedding_names: tuple[str, ...],
+    ) -> dict:
+        targets = tuple(fc_names)
+        if self.embedding_bits is not None:
+            targets += tuple(embedding_names)
+        return {
+            "weight_bits": self.weight_bits,
+            "embedding_bits": self.embedding_bits,
+            "method": "gwq",
+            "aux": saliency_masks(state, targets, self.outlier_pct, seed=self.seed),
+        }

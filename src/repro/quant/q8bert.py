@@ -14,8 +14,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.quantizer import (
+    TensorMethodContext,
+    TensorMethodResult,
+    register_tensor_method,
+    single_pass_result,
+)
 from repro.errors import QuantizationError
-from repro.quant.base import CompressedModel, CompressedTensor
+from repro.quant.base import CompressedModel, CompressedTensor, EngineBackedQuantizer
 
 
 def symmetric_quantize(values: np.ndarray, bits: int = 8) -> tuple[np.ndarray, float]:
@@ -42,8 +48,39 @@ def symmetric_dequantize(codes: np.ndarray, scale: float) -> np.ndarray:
     return np.asarray(codes, dtype=np.float64) * scale
 
 
-class Q8BertQuantizer:
-    """Whole-model 8-bit fixed-point quantization (weights + embeddings)."""
+def _q8bert_grid_method(
+    weights: np.ndarray, ctx: TensorMethodContext
+) -> TensorMethodResult:
+    """Symmetric fixed-point grid as an engine tensor method.
+
+    The ``2^bits`` uniformly spaced code values become the centroid table
+    (``code * scale``), so the engine's generic packed-codes + centroids
+    archive reproduces :func:`symmetric_dequantize` arithmetic exactly.
+    No weight is ever an outlier — the grid covers the full range.
+    """
+    flat = np.asarray(weights, dtype=np.float64).ravel()
+    codes, scale = symmetric_quantize(flat, ctx.bits)
+    max_code = (1 << (ctx.bits - 1)) - 1
+    centroids = np.arange(-max_code - 1, max_code + 1, dtype=np.float64) * scale
+    assignment = codes.astype(np.int64).ravel() + max_code + 1
+    result = single_pass_result(flat, centroids, assignment)
+    return TensorMethodResult(
+        outlier_mask=np.zeros(flat.size, dtype=bool), clustering=result
+    )
+
+
+register_tensor_method("q8bert-grid", _q8bert_grid_method)
+
+
+class Q8BertQuantizer(EngineBackedQuantizer):
+    """Whole-model 8-bit fixed-point quantization (weights + embeddings).
+
+    :meth:`compress` keeps the method's native storage accounting (one int8
+    per weight + one FP32 scale); :meth:`quantize` (inherited) runs the same
+    grid through the engine as the ``"q8bert-grid"`` tensor method, so
+    Q8BERT models flow through format v3 archives, durable jobs and the
+    serving stack like any other method.
+    """
 
     name = "q8bert"
     requires_finetuning = True  # the original method fine-tunes; see module doc
@@ -52,6 +89,18 @@ class Q8BertQuantizer:
         if not 2 <= bits <= 16:
             raise QuantizationError(f"bits must be in [2, 16], got {bits}")
         self.bits = bits
+
+    def engine_options(
+        self,
+        state: dict[str, np.ndarray],
+        fc_names: tuple[str, ...],
+        embedding_names: tuple[str, ...],
+    ) -> dict:
+        return {
+            "weight_bits": self.bits,
+            "embedding_bits": self.bits,
+            "method": "q8bert-grid",
+        }
 
     def compress(
         self,

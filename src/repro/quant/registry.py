@@ -1,44 +1,263 @@
-"""Registry of the quantization methods the Table III comparison covers."""
+"""Plug-in registry mapping method spec strings to configured quantizers.
+
+A *spec* is ``family[-option...]`` — a family name followed by dash-separated
+option tokens, each a value with a suffix declared by the family's grammar
+(``gobo-3bit``, ``gwq-4bit-2pct``, ``mixed-12pct``).  Families are
+registered with :func:`register`; the CLI (``repro quantize --method SPEC``),
+the Table III harness and the cross-method contract suite all enumerate
+:func:`available_specs`, so a method registered here is automatically
+benchmarked, tested and servable.
+
+Registration is strict: duplicate family names raise
+:class:`~repro.errors.ConfigError` rather than silently overwriting — specs
+are part of the reproducibility contract (they select archive bytes, and
+travel into job fingerprints via the CLI's ``--method``).
+"""
 
 from __future__ import annotations
 
+import re
+from dataclasses import dataclass, field
+from typing import Callable
+
 from repro.errors import ConfigError
-from repro.quant.gobo_adapter import GoboModelQuantizer
-from repro.quant.q8bert import Q8BertQuantizer
-from repro.quant.qbert import QBertQuantizer
+
+_FAMILY_NAME = re.compile(r"^[a-z0-9_]+$")
+
+
+@dataclass(frozen=True)
+class MethodOption:
+    """One option in a family's spec grammar, e.g. ``<n>bit``.
+
+    ``key`` is the factory keyword argument; ``suffix`` tags the token in
+    the spec string.  Values are integers unless ``integer=False`` (floats
+    like ``mixed-12.5pct``).  Bounds are inclusive.
+    """
+
+    key: str
+    suffix: str
+    default: float | int
+    minimum: float | int
+    maximum: float | int
+    integer: bool = True
+
+    def parse(self, text: str, spec: str) -> float | int:
+        try:
+            value = int(text) if self.integer else float(text)
+        except ValueError:
+            kind = "an integer" if self.integer else "a number"
+            raise ConfigError(
+                f"option {text + self.suffix!r} in {spec!r} needs {kind} "
+                f"before {self.suffix!r}{_spec_help()}"
+            ) from None
+        if not self.minimum <= value <= self.maximum:
+            raise ConfigError(
+                f"{self.key} must be in [{self.minimum:g}, {self.maximum:g}], "
+                f"got {value:g} in {spec!r}{_spec_help()}"
+            )
+        return value
+
+
+@dataclass(frozen=True)
+class MethodFamily:
+    """A registered quantization method family and its option grammar."""
+
+    name: str
+    factory: Callable[..., object]
+    description: str
+    options: tuple[MethodOption, ...] = ()
+    canonical_specs: tuple[str, ...] = field(default=())
+
+    def grammar(self) -> str:
+        if not self.options:
+            return self.name
+        tokens = "".join(f"[-<{opt.key}>{opt.suffix}]" for opt in self.options)
+        return f"{self.name}{tokens}"
+
+
+_FAMILIES: dict[str, MethodFamily] = {}
+
+
+def register(family: MethodFamily) -> None:
+    """Register a method family.  Duplicate names raise ``ConfigError``."""
+    if not _FAMILY_NAME.match(family.name):
+        raise ConfigError(
+            f"family name {family.name!r} must match {_FAMILY_NAME.pattern} "
+            "(dashes separate options in specs)"
+        )
+    if family.name in _FAMILIES:
+        raise ConfigError(f"method family {family.name!r} is already registered")
+    suffixes = [opt.suffix for opt in family.options]
+    if len(set(suffixes)) != len(suffixes):
+        raise ConfigError(f"family {family.name!r} declares duplicate option suffixes")
+    _FAMILIES[family.name] = family
+
+
+def unregister(name: str) -> None:
+    """Remove a registered family (test cleanup helper)."""
+    _FAMILIES.pop(name, None)
+
+
+def available_specs() -> tuple[str, ...]:
+    """Every canonical spec, in family registration order.
+
+    The cross-method contract suite parametrizes over this list; the Table
+    III zoo comparison and ``repro quantize --method help`` enumerate it.
+    """
+    specs: list[str] = []
+    for family in _FAMILIES.values():
+        specs.extend(family.canonical_specs)
+    return tuple(specs)
+
+
+def describe_specs() -> str:
+    """Human-readable spec grammar for ``--method help`` and error text."""
+    lines = ["Available quantization method specs:"]
+    for family in _FAMILIES.values():
+        lines.append(f"  {family.grammar()}")
+        lines.append(f"      {family.description}")
+        if family.canonical_specs:
+            lines.append(f"      e.g. {', '.join(family.canonical_specs)}")
+    return "\n".join(lines)
+
+
+def _spec_help() -> str:
+    return f"; available specs: {', '.join(available_specs())}"
+
+
+def parse_spec(spec: str) -> tuple[MethodFamily, dict[str, float | int]]:
+    """Parse ``spec`` into its family and fully defaulted option values."""
+    if not spec:
+        raise ConfigError(f"empty method spec{_spec_help()}")
+    head, _, rest = spec.partition("-")
+    family = _FAMILIES.get(head)
+    if family is None:
+        raise ConfigError(f"unknown method family in {spec!r}{_spec_help()}")
+    values: dict[str, float | int] = {opt.key: opt.default for opt in family.options}
+    seen: set[str] = set()
+    for token in rest.split("-") if rest else []:
+        if not token:
+            raise ConfigError(f"malformed spec {spec!r}: empty option token{_spec_help()}")
+        for option in family.options:
+            if token.endswith(option.suffix) and len(token) > len(option.suffix):
+                if option.key in seen:
+                    raise ConfigError(
+                        f"duplicate {option.key} option in {spec!r}{_spec_help()}"
+                    )
+                seen.add(option.key)
+                values[option.key] = option.parse(token[: -len(option.suffix)], spec)
+                break
+        else:
+            raise ConfigError(
+                f"unrecognized option {token!r} in {spec!r}; "
+                f"{head} takes {family.grammar()!r}{_spec_help()}"
+            )
+    return family, values
 
 
 def build_quantizer(spec: str):
-    """Build a model quantizer from a short spec string.
+    """Instantiate the quantizer a spec string describes.
 
-    Specs mirror the paper's Table III rows::
-
-        q8bert            8-bit fixed point, 8-bit embeddings
-        qbert-3bit        Q-BERT-like, 3-bit weights, 8-bit embeddings
-        qbert-4bit        Q-BERT-like, 4-bit weights, 8-bit embeddings
-        gobo-3bit         GOBO, 3-bit weights, 4-bit embeddings
-        gobo-4bit         GOBO, 4-bit weights, 4-bit embeddings
+    Raises :class:`~repro.errors.ConfigError` (whose message lists
+    :func:`available_specs`) for unknown families, malformed option tokens
+    and out-of-range values.
     """
-    if spec == "q8bert":
-        return Q8BertQuantizer()
-    if spec.startswith("qbert-") and spec.endswith("bit"):
-        bits = _parse_bits(spec, "qbert-")
-        return QBertQuantizer(weight_bits=bits)
-    if spec.startswith("gobo-") and spec.endswith("bit"):
-        bits = _parse_bits(spec, "gobo-")
-        return GoboModelQuantizer(weight_bits=bits, embedding_bits=4)
-    raise ConfigError(f"unknown quantizer spec {spec!r}")
+    family, values = parse_spec(spec)
+    return family.factory(**values)
 
 
-def _parse_bits(spec: str, prefix: str) -> int:
-    digits = spec[len(prefix) : -len("bit")]
-    try:
-        bits = int(digits)
-    except ValueError:
-        raise ConfigError(f"cannot parse bits from {spec!r}") from None
-    if not 1 <= bits <= 8:
-        raise ConfigError(f"bits must be in [1, 8], got {bits} in {spec!r}")
-    return bits
+# ----------------------------------------------------------- built-in families
 
 
+def _bits_option(default: int, minimum: int = 1, maximum: int = 8) -> MethodOption:
+    return MethodOption(
+        key="bits", suffix="bit", default=default, minimum=minimum, maximum=maximum
+    )
+
+
+def _register_builtins() -> None:
+    from repro.quant.gobo_adapter import GoboModelQuantizer
+    from repro.quant.gwq import GwqQuantizer
+    from repro.quant.mixedbits import MixedBitsQuantizer
+    from repro.quant.q8bert import Q8BertQuantizer
+    from repro.quant.qbert import QBertQuantizer
+    from repro.quant.zeroshot import ZeroShotQuantizer
+
+    register(
+        MethodFamily(
+            name="q8bert",
+            factory=lambda: Q8BertQuantizer(),
+            description="symmetric 8-bit fixed point, weights + embeddings (Q8BERT)",
+            canonical_specs=("q8bert",),
+        )
+    )
+    register(
+        MethodFamily(
+            name="qbert",
+            factory=lambda bits: QBertQuantizer(weight_bits=bits),
+            description="group-wise dictionaries (128/layer), 8-bit embeddings (Q-BERT)",
+            options=(_bits_option(default=3),),
+            canonical_specs=("qbert-3bit", "qbert-4bit"),
+        )
+    )
+    register(
+        MethodFamily(
+            name="gobo",
+            factory=lambda bits: GoboModelQuantizer(weight_bits=bits, embedding_bits=4),
+            description="Gaussian outlier split + L1 centroids, 4-bit embeddings (GOBO)",
+            options=(_bits_option(default=3),),
+            canonical_specs=("gobo-3bit", "gobo-4bit"),
+        )
+    )
+    register(
+        MethodFamily(
+            name="zeroshot",
+            factory=lambda bits: ZeroShotQuantizer(bits=bits),
+            description="zero-shot dynamic: uniform grid over mean±3σ, no calibration",
+            options=(_bits_option(default=8, minimum=2),),
+            canonical_specs=("zeroshot",),
+        )
+    )
+    register(
+        MethodFamily(
+            name="gwq",
+            factory=lambda bits, pct: GwqQuantizer(weight_bits=bits, outlier_pct=pct),
+            description="gradient-aware outliers by saliency rank + GOBO centroids (GWQ)",
+            options=(
+                _bits_option(default=3),
+                MethodOption(
+                    key="pct",
+                    suffix="pct",
+                    default=1.0,
+                    minimum=0.0,
+                    maximum=99.0,
+                    integer=False,
+                ),
+            ),
+            canonical_specs=("gwq-3bit", "gwq-4bit"),
+        )
+    )
+    register(
+        MethodFamily(
+            name="mixed",
+            factory=lambda pct: MixedBitsQuantizer(budget_pct=pct),
+            description="sensitivity-driven per-layer bit widths under a byte budget",
+            options=(
+                MethodOption(
+                    key="pct",
+                    suffix="pct",
+                    default=12.0,
+                    minimum=1.0,
+                    maximum=100.0,
+                    integer=False,
+                ),
+            ),
+            canonical_specs=("mixed-12pct",),
+        )
+    )
+
+
+_register_builtins()
+
+#: The paper's Table III lineup (kept stable for the pinned benchmarks).
 TABLE3_SPECS = ("q8bert", "qbert-3bit", "qbert-4bit", "gobo-3bit", "gobo-4bit")

@@ -105,3 +105,137 @@ def write_golden(data_dir: str | Path, version: int) -> Path:
     path.parent.mkdir(parents=True, exist_ok=True)
     atomic_savez(path, golden_payload(version))
     return path
+
+
+# ---------------------------------------------------------------------------
+# Method-zoo goldens: one v3 archive per archive *shape* the zoo produces
+# ---------------------------------------------------------------------------
+
+#: Methods whose archives exercise a layout the classic golden doesn't:
+#: ``zeroshot`` (uniform-grid centroids, clip outliers), ``gwq``
+#: (saliency-positioned outliers at inlier magnitudes), ``mixed``
+#: (two tensors at different bit widths in one archive).  Like the classic
+#: goldens these payloads are hand-written — they pin the on-disk layout the
+#: methods emit, independent of the algorithms.
+METHOD_GOLDENS = ("zeroshot", "gwq", "mixed")
+
+#: zeroshot: 3-bit mid-rise grid over [-0.125, 0.125), step 2^-5; every
+#: centroid is lo + (i + 0.5) * step, float32-exact.  The two outliers sit
+#: *outside* the grid range (clipped tail), unlike GOBO's Gaussian split.
+ZEROSHOT_STEP = 0.03125
+ZEROSHOT_LO = -0.125
+ZEROSHOT_CENTROIDS = tuple(
+    ZEROSHOT_LO + (i + 0.5) * ZEROSHOT_STEP for i in range(8)
+)
+ZEROSHOT_CODES = (7, 0, 3, 4, 1, 6, 2, 5, 5, 2, 6, 1, 4, 3, 0, 7, 3, 4)
+ZEROSHOT_OUTLIER_VALUES = (0.5, -0.25)
+
+#: gwq: outliers at flat positions 0 and 1 with small magnitudes — adjacent,
+#: inlier-sized values no distribution split would pick; only a saliency
+#: ranking puts them in the FP32 group.  Inliers reuse the classic centroids.
+GWQ_OUTLIER_POSITIONS = (0, 1)
+GWQ_OUTLIER_VALUES = (0.015625, -0.03125)
+GWQ_CODES = (0, 1, 2, 3, 3, 2, 1, 0, 0, 0, 1, 1, 2, 2, 3, 3, 0, 2)
+
+#: mixed: two tensors in one archive at different widths (the allocator's
+#: signature output).  "enc0" is 2-bit, "enc1" is 3-bit.
+MIXED_BITS = {"enc0": 2, "enc1": 3}
+MIXED_CODES = {
+    "enc0": (0, 1, 2, 3, 3, 2, 1, 0, 0, 0, 1, 1, 2, 2, 3, 3, 0, 2),
+    "enc1": (0, 1, 2, 3, 4, 5, 6, 7, 7, 6, 5, 4, 3, 2, 1, 0, 2, 5),
+}
+MIXED_CENTROIDS = {
+    "enc0": CENTROIDS,
+    "enc1": tuple((i - 3.5) * 0.03125 for i in range(8)),
+}
+
+
+def _tensor(
+    bits: int,
+    centroids: tuple[float, ...],
+    codes: tuple[int, ...],
+    outlier_positions: tuple[int, ...],
+    outlier_values: tuple[float, ...],
+) -> GoboQuantizedTensor:
+    return GoboQuantizedTensor(
+        shape=SHAPE,
+        bits=bits,
+        centroids=np.array(centroids, dtype=np.float64),
+        packed_codes=pack_bits(np.array(codes, dtype=np.int64), bits),
+        outlier_positions=np.array(outlier_positions, dtype=np.int64),
+        outlier_values=np.array(outlier_values, dtype=np.float64),
+    )
+
+
+def method_golden_tensors(method: str) -> dict[str, GoboQuantizedTensor]:
+    """The quantized tensors the golden archive for ``method`` encodes."""
+    if method == "zeroshot":
+        return {
+            TENSOR_NAME: _tensor(
+                3, ZEROSHOT_CENTROIDS, ZEROSHOT_CODES,
+                OUTLIER_POSITIONS, ZEROSHOT_OUTLIER_VALUES,
+            )
+        }
+    if method == "gwq":
+        return {
+            TENSOR_NAME: _tensor(
+                BITS, CENTROIDS, GWQ_CODES,
+                GWQ_OUTLIER_POSITIONS, GWQ_OUTLIER_VALUES,
+            )
+        }
+    if method == "mixed":
+        return {
+            name: _tensor(
+                MIXED_BITS[name], MIXED_CENTROIDS[name], MIXED_CODES[name],
+                OUTLIER_POSITIONS, OUTLIER_VALUES,
+            )
+            for name in sorted(MIXED_BITS)
+        }
+    raise ValueError(f"no method golden for {method!r}")
+
+
+def expected_method_state(method: str) -> dict[str, np.ndarray]:
+    """What loading the ``method`` golden must reconstruct (float64)."""
+    state = {
+        name: tensor.dequantize(dtype=np.float64)
+        for name, tensor in method_golden_tensors(method).items()
+    }
+    state[FP32_NAME] = np.array(FP32_VALUES, dtype=np.float64)
+    return state
+
+
+def method_golden_payload(method: str) -> dict[str, np.ndarray]:
+    """The raw npz payload (always format v3) for the ``method`` golden."""
+    tensors = method_golden_tensors(method)
+    payload: dict[str, np.ndarray] = {}
+    for name, tensor in tensors.items():
+        prefix = f"gobo::{name}"
+        payload[f"{prefix}::codes"] = np.frombuffer(
+            tensor.packed_codes, dtype=np.uint8
+        )
+        payload[f"{prefix}::centroids"] = tensor.centroids.astype(np.float32)
+        payload[f"{prefix}::positions"] = tensor.outlier_positions.astype(np.uint32)
+        payload[f"{prefix}::outliers"] = tensor.outlier_values.astype(np.float32)
+        payload[f"{prefix}::meta"] = np.array(
+            [tensor.bits, ITERATIONS, *tensor.shape], dtype=np.int64
+        )
+    payload[f"fp32::{FP32_NAME}"] = np.array(FP32_VALUES, dtype=np.float32)
+    payload["index::fc"] = np.array(sorted(tensors), dtype=np.str_)
+    payload["index::embeddings"] = np.array([], dtype=np.str_)
+    payload["index::version"] = np.array([3], dtype=np.int64)
+    payload["index::checksum"] = np.frombuffer(
+        payload_checksum(payload), dtype=np.uint8
+    )
+    return payload
+
+
+def method_golden_path(data_dir: str | Path, method: str) -> Path:
+    return Path(data_dir) / f"golden_method_{method}.npz"
+
+
+def write_method_golden(data_dir: str | Path, method: str) -> Path:
+    """Write the golden archive for ``method`` under ``data_dir``."""
+    path = method_golden_path(data_dir, method)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    atomic_savez(path, method_golden_payload(method))
+    return path

@@ -60,8 +60,16 @@ class TestStorageReport:
             storage_report(-1, 0, 3)
 
     def test_invalid_bits_rejected(self):
+        # Widths 9-16 are legal (group-table encodings pack wider global
+        # code spaces); past the bitpack limit is not.
         with pytest.raises(ValueError):
-            storage_report(10, 0, 9)
+            storage_report(10, 0, 17)
+        with pytest.raises(ValueError):
+            storage_report(10, 0, 0)
+
+    def test_wide_group_table_widths_accepted(self):
+        report = storage_report(1024, 0, 10)
+        assert report.code_bytes == 1024 * 10 // 8
 
 
 class TestCompressionCurve:

@@ -1,0 +1,73 @@
+"""Golden fixtures for the method zoo's archive layouts.
+
+``tests/data/golden_method_{zeroshot,gwq,mixed}.npz`` are checked-in v3
+archives built by ``scripts/make_golden_archives.py`` from hand-written
+payloads (:mod:`repro.testing.golden`): a uniform-grid/clip-outlier tensor
+(zeroshot), a saliency-positioned-outlier tensor (gwq), and two tensors at
+different bit widths (mixed).  They pin the on-disk layouts the new methods
+emit — any format drift breaks these loads before it breaks users' archives.
+The classic ``golden_v{1,2,3}.npz`` back-compat locks live in
+``test_golden_archives.py`` and must stay green alongside these.
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.serialization import load_quantized_model, verify_archive
+from repro.testing import golden
+
+DATA_DIR = Path(__file__).resolve().parents[1] / "data"
+
+pytestmark = pytest.mark.parametrize("method", golden.METHOD_GOLDENS)
+
+
+def _path(method: str) -> Path:
+    path = golden.method_golden_path(DATA_DIR, method)
+    assert path.exists(), (
+        f"missing golden fixture {path}; run scripts/make_golden_archives.py"
+    )
+    return path
+
+
+def test_method_golden_is_valid_v3(method):
+    check = verify_archive(_path(method))
+    assert check.ok and check.status == "ok" and check.version == 3
+
+
+def test_method_golden_loads_and_reconstructs(method):
+    model = load_quantized_model(_path(method))
+    expected = golden.expected_method_state(method)
+    assert set(model.quantized) == set(golden.method_golden_tensors(method))
+    state = model.state_dict(dtype=np.float64)
+    assert set(state) == set(expected)
+    for name, value in expected.items():
+        np.testing.assert_array_equal(state[name], value, err_msg=name)
+
+
+def test_method_golden_tensor_metadata(method):
+    model = load_quantized_model(_path(method))
+    for name, want in golden.method_golden_tensors(method).items():
+        tensor = model.quantized[name]
+        assert tensor.bits == want.bits, name
+        assert tensor.shape == want.shape, name
+        np.testing.assert_array_equal(tensor.centroids, want.centroids)
+        np.testing.assert_array_equal(
+            tensor.outlier_positions, want.outlier_positions
+        )
+        assert tensor.codes().tolist() == want.codes().tolist()
+
+
+def test_mixed_golden_has_two_bit_widths(method):
+    if method != "mixed":
+        pytest.skip("width-mix property is specific to the mixed golden")
+    model = load_quantized_model(_path(method))
+    widths = {tensor.bits for tensor in model.quantized.values()}
+    assert widths == {2, 3}
+
+
+def test_regeneration_is_byte_identical(method, tmp_path):
+    """The deterministic writer reproduces the committed fixture exactly."""
+    regenerated = golden.write_method_golden(tmp_path, method)
+    assert regenerated.read_bytes() == _path(method).read_bytes()

@@ -295,6 +295,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_pending=args.max_pending,
             request_timeout=args.request_timeout,
             verify=args.verify,
+            forward_timeout=args.forward_timeout or None,
+            breaker_window=args.breaker_window,
+            breaker_threshold=args.breaker_threshold,
+            quarantine_reloads=args.quarantine_reloads,
         )
     except (ReproError, OSError) as exc:
         print(exc, file=sys.stderr)
@@ -499,6 +503,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="archive integrity level: per-member CRC on first access "
              "('lazy', default), whole-archive checksum up front ('full'), "
              "or none",
+    )
+    serve.add_argument(
+        "--forward-timeout", type=float, default=30.0, metavar="S",
+        help="watchdog deadline for one batch forward in seconds; a wedged "
+             "worker is replaced and its batch failed as transient "
+             "(0 disables; default 30)",
+    )
+    serve.add_argument(
+        "--breaker-window", type=float, default=30.0, metavar="S",
+        help="sliding window for the per-model circuit breaker in seconds "
+             "(default 30)",
+    )
+    serve.add_argument(
+        "--breaker-threshold", type=int, default=5,
+        help="transient failures inside --breaker-window that trip a model "
+             "into quarantine (default 5)",
+    )
+    serve.add_argument(
+        "--quarantine-reloads", type=int, default=5,
+        help="automatic reload-from-disk attempts for an integrity-"
+             "quarantined model before giving up until a manual reload "
+             "(default 5)",
     )
     serve.add_argument(
         "--trace", default=None, metavar="PATH",

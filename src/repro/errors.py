@@ -110,3 +110,29 @@ class QueueFullError(ServeError):
 
 class RequestTimeoutError(ServeError):
     """A request's deadline expired before its batch completed (504)."""
+
+
+class ModelQuarantinedError(ServeError):
+    """The model's health state machine has it quarantined: admission
+    answers 503 + ``Retry-After`` instead of letting the request reach a
+    kernel that will fail it.  Carries ``retry_after`` (seconds) and the
+    current health ``state`` for the response body."""
+
+    def __init__(self, message: str, retry_after: float = 1.0,
+                 state: str = "quarantined"):
+        super().__init__(message)
+        self.retry_after = retry_after
+        self.state = state
+
+
+class BatchWorkerError(ServeError):
+    """The batch worker thread died (or was replaced) while this request's
+    batch was in flight.  Transient: the request itself says nothing about
+    the model, so the health breaker counts it but admission keeps the
+    model serving.  Mapped to 503 + ``Retry-After: 1``."""
+
+
+class ForwardTimeoutError(BatchWorkerError):
+    """A model forward exceeded the per-forward deadline: the batch-worker
+    watchdog failed the in-flight batch and replaced the wedged worker.
+    Transient, like :class:`BatchWorkerError`."""

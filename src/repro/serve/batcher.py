@@ -19,6 +19,16 @@ Threading contract:
   deliberately: NumPy kernels are already multi-core via BLAS-free
   vectorized sweeps, and one-at-a-time batches keep per-request latency
   predictable.
+* A **watchdog thread** supervises the worker (DESIGN.md §5i).  Every
+  forward registers an in-flight record with a deadline
+  (``forward_timeout`` seconds); the watchdog failing that deadline — or
+  finding the worker thread dead — fails the in-flight batch with a
+  *transient* :class:`~repro.errors.ForwardTimeoutError` /
+  :class:`~repro.errors.BatchWorkerError`, reports it to the health
+  monitor, and starts a replacement worker under a new generation.  A
+  superseded worker that eventually un-wedges sees its generation is stale,
+  discards its late results, and exits — so one hung mmap read stalls the
+  process for at most ``forward_timeout``, not forever.
 * Spans: the handler's ``serve.request`` span wraps :meth:`wait`, which
   nests ``serve.queue_wait`` (admission → batch start, measured on the
   handler thread).  The worker emits ``serve.batch`` under the span context
@@ -35,10 +45,18 @@ from collections import deque
 
 import numpy as np
 
-from repro.errors import RequestTimeoutError, ServeError
+from repro.errors import (
+    BatchWorkerError,
+    ForwardTimeoutError,
+    RequestTimeoutError,
+    ServeError,
+)
 from repro.obs import recorder as obs
 from repro.serve.admission import AdmissionController
 from repro.serve.registry import ModelRegistry
+
+#: How often the watchdog sweeps for a wedged forward or a dead worker.
+WATCHDOG_POLL_INTERVAL = 0.05
 
 
 class PendingRequest:
@@ -65,37 +83,98 @@ class PendingRequest:
         self.error: Exception | None = None
 
 
+class _InflightBatch:
+    """One forward in progress, visible to the watchdog.
+
+    ``aborted`` is the handoff bit: whoever sets it first (the watchdog on
+    deadline/death, under ``MicroBatcher._inflight_lock``) owns failing the
+    batch's requests; the worker checks it after the forward returns and
+    discards late results instead of double-completing.
+    """
+
+    __slots__ = ("model", "live", "started_at", "deadline", "aborted")
+
+    def __init__(self, model: str, live: list[PendingRequest],
+                 started_at: float, deadline: float | None):
+        self.model = model
+        self.live = live
+        self.started_at = started_at
+        self.deadline = deadline
+        self.aborted = False
+
+
 class MicroBatcher:
-    """Collect requests into batches; one model forward per batch per model."""
+    """Collect requests into batches; one model forward per batch per model.
+
+    ``forward_timeout`` arms the watchdog's per-forward deadline (None
+    disables it; dead-worker detection runs either way).  ``health`` is an
+    optional :class:`~repro.serve.health.HealthMonitor`: quarantined models
+    are rejected at :meth:`submit` and every batch outcome is reported.
+    ``fault`` is an optional serve-path fault injector
+    (:func:`repro.testing.faults.serve_injector_from_env`) called as
+    ``fault("forward", model)`` before each forward.
+    """
 
     def __init__(self, registry: ModelRegistry, admission: AdmissionController,
-                 batch_window: float = 0.005, max_batch: int = 8):
+                 batch_window: float = 0.005, max_batch: int = 8,
+                 forward_timeout: float | None = None, health=None,
+                 fault=None):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if batch_window < 0:
             raise ValueError(f"batch_window must be >= 0, got {batch_window}")
+        if forward_timeout is not None and forward_timeout <= 0:
+            raise ValueError(
+                f"forward_timeout must be > 0 or None, got {forward_timeout}")
         self.registry = registry
         self.admission = admission
         self.batch_window = batch_window
         self.max_batch = max_batch
+        self.forward_timeout = forward_timeout
+        self.health = health
+        self.fault = fault
         self._queue: deque[PendingRequest] = deque()
         self._not_empty = threading.Condition()
         self._stop = False
-        self._worker = threading.Thread(
-            target=self._run, name="repro-serve-batcher", daemon=True
+        self._generation = 0
+        self._inflight_lock = threading.Lock()
+        self._inflight: _InflightBatch | None = None
+        self._watchdog_stop = threading.Event()
+        self._worker = self._spawn_worker()
+        poll = WATCHDOG_POLL_INTERVAL
+        if forward_timeout is not None:
+            poll = min(poll, max(forward_timeout / 4.0, 0.001))
+        self._watchdog_poll = poll
+        self._watchdog = threading.Thread(
+            target=self._watch, name="repro-serve-batch-watchdog", daemon=True
         )
-        self._worker.start()
+        self._watchdog.start()
+
+    def _spawn_worker(self) -> threading.Thread:
+        """Start a worker thread for the next generation (caller must hold
+        ``_not_empty`` or be the constructor)."""
+        self._generation += 1
+        worker = threading.Thread(
+            target=self._run, args=(self._generation,),
+            name=f"repro-serve-batcher-{self._generation}", daemon=True,
+        )
+        worker.start()
+        return worker
 
     # ------------------------------------------------------------ submission
     def submit(self, model: str, input_ids, token_type_ids=None) -> PendingRequest:
         """Validate, admit, and enqueue one request (non-blocking).
 
         Raises :class:`~repro.errors.ModelNotFoundError` for unknown models,
+        :class:`~repro.errors.ModelQuarantinedError` for quarantined ones
+        (503 + Retry-After before any queue slot is burned),
         :class:`~repro.errors.ShapeError`-free ``ValueError`` for malformed
         inputs, :class:`~repro.errors.QueueFullError` at the admission bound,
         and :class:`~repro.errors.ServeError` after shutdown began.
         """
         entry = self.registry.get(model)  # 404 before burning a queue slot
+        if self.health is not None:
+            self.health.admit(model)  # 503 + Retry-After while quarantined
         ids = np.asarray(input_ids)
         if ids.ndim != 1 or ids.size == 0:
             raise ValueError(
@@ -161,11 +240,15 @@ class MicroBatcher:
         )
 
     # ---------------------------------------------------------------- worker
-    def _run(self) -> None:
+    def _run(self, generation: int) -> None:
         while True:
             with self._not_empty:
+                if self._generation != generation:
+                    return  # superseded by the watchdog; a successor drains
                 while not self._queue and not self._stop:
                     self._not_empty.wait(timeout=0.05)
+                    if self._generation != generation:
+                        return
                 if not self._queue:
                     if self._stop:
                         return
@@ -209,6 +292,8 @@ class MicroBatcher:
         with pending.lock:
             if pending.abandoned:
                 return  # handler timed out mid-batch and released the slot
+            if pending.done.is_set():
+                return  # the watchdog already failed this request
             pending.result = result
             pending.error = error
             pending.done.set()
@@ -223,17 +308,45 @@ class MicroBatcher:
         # deterministic choice beats a parentless span.
         with obs.use_context(live[0].context):
             with obs.span("serve.batch", model=model, batch_size=len(live)):
+                inflight = self._begin_forward(model, live)
                 try:
-                    result_rows = self._forward(model, live)
+                    result_rows, error = self._forward(model, live), None
+                except Exception as exc:  # noqa: BLE001 — fan the error out
+                    result_rows, error = None, exc
+                if self._end_forward(inflight):
+                    return  # aborted: the watchdog failed + reported this batch
+                if error is None:
                     for pending, row in zip(live, result_rows):
                         self._complete(pending, row, None)
-                except Exception as exc:  # noqa: BLE001 — fan the error out
+                    if self.health is not None:
+                        self.health.report_success(model)
+                else:
                     for pending in live:
-                        self._complete(pending, None, exc)
+                        self._complete(pending, None, error)
+                    if self.health is not None:
+                        self.health.report_failure(model, error)
         obs.counter("serve.batches", model=model)
         obs.histogram("serve.batch_size", len(live), model=model)
 
+    def _begin_forward(self, model: str,
+                       live: list[PendingRequest]) -> _InflightBatch:
+        now = time.perf_counter()
+        deadline = None if self.forward_timeout is None else now + self.forward_timeout
+        inflight = _InflightBatch(model, live, now, deadline)
+        with self._inflight_lock:
+            self._inflight = inflight
+        return inflight
+
+    def _end_forward(self, inflight: _InflightBatch) -> bool:
+        """Clear the in-flight record; True if the watchdog aborted it."""
+        with self._inflight_lock:
+            if self._inflight is inflight:
+                self._inflight = None
+            return inflight.aborted
+
     def _forward(self, model: str, live: list[PendingRequest]) -> list[dict]:
+        if self.fault is not None:
+            self.fault("forward", model)
         lengths = [pending.input_ids.size for pending in live]
         width = max(lengths)
         input_ids = np.zeros((len(live), width), dtype=np.int64)
@@ -261,19 +374,122 @@ class MicroBatcher:
             for row, pending in enumerate(live)
         ]
 
+    # -------------------------------------------------------------- watchdog
+    def _watch(self) -> None:
+        while not self._watchdog_stop.wait(self._watchdog_poll):
+            self.check_worker()
+
+    def check_worker(self, now: float | None = None) -> str | None:
+        """One watchdog sweep: replace a wedged or dead worker.
+
+        Clock-injectable for tests (``now`` in ``time.perf_counter``
+        terms).  Returns the replacement reason (``"forward-timeout"`` /
+        ``"worker-died"``) or None when the worker is fine.
+        """
+        now = time.perf_counter() if now is None else now
+        with self._not_empty:
+            if self._stop:
+                return None
+            worker = self._worker
+            generation = self._generation
+        with self._inflight_lock:
+            inflight = self._inflight
+            wedged = (
+                inflight is not None
+                and not inflight.aborted
+                and inflight.deadline is not None
+                and now >= inflight.deadline
+            )
+            if wedged:
+                inflight.aborted = True  # we own failing this batch now
+        if wedged:
+            error = ForwardTimeoutError(
+                f"forward for model {inflight.model!r} exceeded the "
+                f"{self.forward_timeout:g}s forward timeout; the batch "
+                f"worker was replaced"
+            )
+            self._abort_batch(inflight, error, "forward-timeout", generation)
+            return "forward-timeout"
+        if not worker.is_alive():
+            # The worker died outside close() — a BaseException escaped, or
+            # the interpreter killed the thread.  Fail whatever it had in
+            # flight and hand the queue to a fresh worker.
+            with self._inflight_lock:
+                inflight = self._inflight
+                if inflight is not None and not inflight.aborted:
+                    inflight.aborted = True
+                else:
+                    inflight = None
+            error = BatchWorkerError(
+                "batch worker died mid-forward; the batch was failed and "
+                "the worker replaced"
+            )
+            self._abort_batch(inflight, error, "worker-died", generation)
+            return "worker-died"
+        return None
+
+    def _abort_batch(self, inflight: _InflightBatch | None, error: Exception,
+                     reason: str, generation: int) -> None:
+        """Fail an aborted batch, report health, and respawn the worker."""
+        if inflight is not None:
+            for pending in inflight.live:
+                self._complete(pending, None, error)
+            if self.health is not None:
+                self.health.report_failure(inflight.model, error)
+        with self._not_empty:
+            if self._stop or self._generation != generation:
+                return  # already replaced (or shutting down)
+            self._worker = self._spawn_worker()
+            self._not_empty.notify_all()
+        obs.counter(
+            "serve.worker_replaced", reason=reason,
+            model=inflight.model if inflight is not None else None,
+        )
+
     # -------------------------------------------------------------- shutdown
-    def close(self, drain: bool = True) -> None:
+    def close(self, drain: bool = True, timeout: float = 30.0) -> None:
         """Stop the worker.  ``drain=True`` finishes queued requests first;
-        ``drain=False`` fails them with :class:`ServeError`."""
+        ``drain=False`` fails them with :class:`ServeError`.
+
+        A worker that is already dead cannot drain, so its queue is failed
+        rather than left waiting out request deadlines; a worker that fails
+        to join within ``timeout`` raises :class:`ServeError` after failing
+        whatever it left queued (callers still tearing down other resources
+        should wrap this call).
+        """
+        self._watchdog_stop.set()
         with self._not_empty:
             self._stop = True
-            if not drain:
+            worker = self._worker
+            if not drain or not worker.is_alive():
                 dropped = list(self._queue)
                 self._queue.clear()
             else:
                 dropped = []
             self._not_empty.notify_all()
+        self._watchdog.join(timeout=5.0)
+        shutdown_error = ServeError(
+            "server shut down" if drain is False or worker.is_alive()
+            else "batch worker died before shutdown; request abandoned"
+        )
         for pending in dropped:
             if self._claim(pending):
-                self._complete(pending, None, ServeError("server shut down"))
-        self._worker.join(timeout=30.0)
+                self._complete(pending, None, shutdown_error)
+        worker.join(timeout=timeout)
+        if worker.is_alive():
+            # Wedged mid-forward with no watchdog left to replace it: the
+            # queue will never drain, so fail it loudly instead of letting
+            # requests wait out their deadlines in silence.
+            with self._not_empty:
+                stuck = list(self._queue)
+                self._queue.clear()
+            for pending in stuck:
+                if self._claim(pending):
+                    self._complete(pending, None, ServeError(
+                        "batch worker failed to stop; request abandoned"
+                    ))
+            obs.counter("serve.worker_join_timeouts")
+            raise ServeError(
+                f"batch worker failed to stop within {timeout:g}s of close(); "
+                f"{len(stuck)} queued request(s) were failed"
+            )

@@ -143,11 +143,13 @@ def _infer_config(qmodel) -> str:
 
 
 def _build_entry(name: str, path: Path, config,
-                 version: int, verify: str) -> ModelEntry:
+                 version: int, verify: str, fault=None) -> ModelEntry:
     # Imported here, not at module top: serialization pulls in the archive
     # stack only when a model is actually registered.
     from repro.core.serialization import load_quantized_model
 
+    if fault is not None:
+        fault("load", name)
     with obs.span("serve.model_load", model=name, generation=version) as sp:
         qmodel = load_quantized_model(path, lazy=True, verify=verify)
         try:
@@ -179,8 +181,9 @@ def _build_entry(name: str, path: Path, config,
 class ModelRegistry:
     """Named, hot-swappable collection of :class:`ModelEntry`."""
 
-    def __init__(self, verify: str = "lazy"):
+    def __init__(self, verify: str = "lazy", fault=None):
         self.verify = verify
+        self.fault = fault  # serve-path injector, called as fault("load", name)
         self._lock = threading.Lock()
         self._entries: dict[str, ModelEntry] = {}
 
@@ -192,7 +195,8 @@ class ModelRegistry:
         ``config`` is a zoo preset name, a ``BertConfig``, or ``None`` to
         infer the preset from the archive's FC census.
         """
-        entry = _build_entry(name, Path(path), config, version=1, verify=self.verify)
+        entry = _build_entry(name, Path(path), config, version=1,
+                             verify=self.verify, fault=self.fault)
         with self._lock:
             previous = self._entries.get(name)
             if previous is not None:
@@ -216,7 +220,8 @@ class ModelRegistry:
             if current is None:
                 raise ModelNotFoundError(f"no model registered as {name!r}")
             path, config, version = current.path, current.config, current.version
-        entry = _build_entry(name, path, config, version + 1, self.verify)
+        entry = _build_entry(name, path, config, version + 1, self.verify,
+                             fault=self.fault)
         with self._lock:
             old = self._entries.get(name)
             self._entries[name] = entry
@@ -244,9 +249,20 @@ class ModelRegistry:
 
     @contextmanager
     def lease(self, name: str) -> Iterator[ModelEntry]:
-        """Pin ``name``'s current entry for the duration of the block."""
+        """Pin ``name``'s current entry for the duration of the block.
+
+        A concurrent reload can retire the entry between :meth:`get` and
+        the acquire — a routine hot-swap, not a failure — so a retired
+        entry is retried once against the freshly swapped-in one.  Only a
+        second retirement in the same race window (or a genuinely removed
+        model) propagates.
+        """
         entry = self.get(name)
-        entry._acquire()
+        try:
+            entry._acquire()
+        except ServeError:
+            entry = self.get(name)
+            entry._acquire()
         try:
             yield entry
         finally:

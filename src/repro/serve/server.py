@@ -15,6 +15,10 @@ Routes::
 Status mapping (the admission contract): unknown model → 404, malformed
 body → 400, queue full → 429 with ``Retry-After``, request deadline → 504,
 model load failure on reload → 500 *with the old model still serving*.
+Quarantined models (see :mod:`repro.serve.health`) answer 503 with
+``Retry-After`` at admission; a batch failed by the worker watchdog
+(wedged or dead worker) also maps to 503 + ``Retry-After: 1`` because a
+replacement worker is already running.
 
 Every request runs inside a ``serve.request`` span (model, route, status)
 with a nested ``serve.queue_wait`` span; batches emit ``serve.batch`` from
@@ -34,8 +38,10 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro import obs
 from repro.errors import (
+    BatchWorkerError,
     ConfigError,
     ModelNotFoundError,
+    ModelQuarantinedError,
     QueueFullError,
     RequestTimeoutError,
     ReproError,
@@ -45,6 +51,7 @@ from repro.errors import (
 from repro.obs import recorder as obs_recorder
 from repro.serve.admission import AdmissionController
 from repro.serve.batcher import MicroBatcher
+from repro.serve.health import HEALTHY, HealthMonitor, HealthPolicy
 from repro.serve.registry import ModelRegistry
 
 #: Request bodies above this are rejected outright (413) before parsing.
@@ -90,14 +97,21 @@ class QuantServer:
         max_batch: int = 8,
         max_pending: int = 64,
         request_timeout: float = 10.0,
+        forward_timeout: float | None = 30.0,
+        health_policy: HealthPolicy | None = None,
+        fault=None,
     ):
         self.registry = registry
+        if fault is not None and registry.fault is None:
+            registry.fault = fault  # slow-load reaches reloads too
         self.admission = AdmissionController(
             max_pending=max_pending, request_timeout=request_timeout
         )
+        self.health = HealthMonitor(registry, policy=health_policy)
         self.batcher = MicroBatcher(
             registry, self.admission,
             batch_window=batch_window, max_batch=max_batch,
+            forward_timeout=forward_timeout, health=self.health, fault=fault,
         )
         # /metrics reads this; bounded memory for an unbounded request count.
         self.metrics_sink = obs.install(obs.SnapshotSink())
@@ -122,9 +136,14 @@ class QuantServer:
         """Stop accepting, drain queued requests, release every archive."""
         self._httpd.shutdown()
         self._httpd.server_close()
-        self.batcher.close(drain=True)
-        self.registry.close()
-        obs.uninstall(self.metrics_sink)
+        try:
+            self.batcher.close(drain=True)
+        finally:
+            # A wedged worker makes close() raise; archives and background
+            # reloaders must still be released on the way out.
+            self.health.close()
+            self.registry.close()
+            obs.uninstall(self.metrics_sink)
 
     def __enter__(self) -> "QuantServer":
         return self
@@ -172,9 +191,16 @@ def _make_handler(server: QuantServer):
         # -------------------------------------------------------------- routes
         def do_GET(self) -> None:  # noqa: N802 — stdlib casing
             if self.path == "/healthz":
+                models = server.registry.describe()
+                for name in models:
+                    models[name]["health"] = server.health.model(name).describe()
+                degraded = any(
+                    entry["health"]["state"] != HEALTHY
+                    for entry in models.values()
+                )
                 self._respond(200, {
-                    "status": "ok",
-                    "models": server.registry.describe(),
+                    "status": "degraded" if degraded else "ok",
+                    "models": models,
                     "queue_depth": server.admission.depth,
                 })
             elif self.path == "/metrics":
@@ -215,6 +241,10 @@ def _make_handler(server: QuantServer):
                 )
             except ModelNotFoundError as exc:
                 return 404, {"error": str(exc)}, None
+            except ModelQuarantinedError as exc:
+                return (503, {"error": str(exc), "retry_after": exc.retry_after,
+                              "state": exc.state},
+                        {"Retry-After": str(int(exc.retry_after))})
             except QueueFullError as exc:
                 return (429, {"error": str(exc), "retry_after": exc.retry_after},
                         {"Retry-After": str(int(exc.retry_after))})
@@ -226,6 +256,11 @@ def _make_handler(server: QuantServer):
                 return 200, server.batcher.wait(pending), None
             except RequestTimeoutError as exc:
                 return 504, {"error": str(exc)}, None
+            except BatchWorkerError as exc:
+                # The watchdog failed this batch (wedged or dead worker) and
+                # already started a replacement — safe to retry immediately.
+                return (503, {"error": str(exc), "retry_after": 1.0},
+                        {"Retry-After": "1"})
             except ReproError as exc:
                 return 500, {"error": str(exc)}, None
 
@@ -235,6 +270,7 @@ def _make_handler(server: QuantServer):
             ) as sp:
                 try:
                     entry = server.registry.reload(model)
+                    server.health.note_manual_reload(model)
                     status, payload = 200, {
                         "status": "reloaded",
                         "model": model,
@@ -267,6 +303,10 @@ def run_server(
     max_pending: int = 64,
     request_timeout: float = 10.0,
     verify: str = "lazy",
+    forward_timeout: float | None = 30.0,
+    breaker_window: float = 30.0,
+    breaker_threshold: int = 5,
+    quarantine_reloads: int = 5,
     announce=functools.partial(print, flush=True),  # unbuffered: supervisors
     # and the CI harness watch stdout for the "serving ..." line.
 ) -> int:
@@ -277,8 +317,15 @@ def run_server(
     main thread (signal handlers).
     """
     from repro.jobs.signals import EXIT_INTERRUPTED, GracefulInterrupt
+    from repro.testing.faults import serve_injector_from_env
 
-    registry = ModelRegistry(verify=verify)
+    fault = serve_injector_from_env()
+    policy = HealthPolicy(
+        breaker_window=breaker_window,
+        breaker_threshold=breaker_threshold,
+        quarantine_reloads=quarantine_reloads,
+    )
+    registry = ModelRegistry(verify=verify, fault=fault)
     for name, (path, config) in models.items():
         entry = registry.register(name, path, config=config)
         announce(
@@ -289,6 +336,7 @@ def run_server(
         registry, host=host, port=port,
         batch_window=batch_window, max_batch=max_batch,
         max_pending=max_pending, request_timeout=request_timeout,
+        forward_timeout=forward_timeout, health_policy=policy, fault=fault,
     )
     announce(
         f"serving {len(models)} model(s) on http://{server.host}:{server.port} "

@@ -48,6 +48,30 @@ one from the ``REPRO_FAULTS`` environment variable via
 :func:`injector_from_env`, and each fleet worker rebuilds its own from the
 spec (stateful injectors count per worker, not globally).
 
+Serve-path injectors target the online request path (:mod:`repro.serve`,
+DESIGN.md §5i) rather than the offline engine.  They follow a different
+protocol — ``injector(stage, model)`` called at named hook points
+(``"forward"`` in the micro-batcher, ``"load"`` in the registry) — and are
+parsed from the same ``REPRO_FAULTS`` variable by
+:func:`serve_injector_from_env`, so the serve CLI plants chaos exactly the
+way the quantize CLI does.  Engine kinds in the spec are ignored by the
+serve parser and vice versa (the two paths share one environment variable):
+
+* :class:`HangForward` — wedge the batch worker inside a forward
+  (non-cooperatively: a real sleep, like a hung mmap read on failing
+  storage).  The batch-worker watchdog must fail the batch within
+  ``--forward-timeout`` and replace the worker.
+* :class:`FailForward` — raise :class:`InjectedFault` from the forward the
+  first N matching calls: transient failures that feed the health
+  breaker's sliding window.
+* :class:`CorruptMemberAtServe` — raise
+  :class:`~repro.errors.ChecksumMismatchError` from the forward, the exact
+  error a lazy-CRC check produces when an archive member rots under a
+  registered model: the health machine must quarantine the model and
+  start background reloads from disk.
+* :class:`SlowLoad` — delay archive loads in the registry, widening
+  reload/probe race windows.
+
 Storage-level injectors simulate the two ways an archive dies on disk:
 
 * :func:`truncate_file` — a crash mid-write (the container is torn),
@@ -74,6 +98,15 @@ from repro.jobs.watchdog import checkpoint
 
 #: Environment variable the CLI reads fault specs from (kill/resume tests).
 FAULTS_ENV = "REPRO_FAULTS"
+
+#: Spec kinds handled by the engine parser (:func:`injector_from_spec`);
+#: the serve parser skips these, and the engine parser skips
+#: :data:`SERVE_FAULT_KINDS`, so one ``REPRO_FAULTS`` value can target
+#: both the offline pipeline and the serving runtime.
+ENGINE_FAULT_KINDS = frozenset({
+    "raise", "hang", "slow", "transient-io", "crash", "poison",
+    "kill-worker", "mute-worker", "hang-worker",
+})
 
 
 class InjectedFault(RuntimeError):
@@ -387,6 +420,187 @@ def _matches_layer(selector: int | str, index: int, job: LayerJob) -> bool:
     return index == selector
 
 
+# --------------------------------------------------------------------------
+# Serve-path injectors: protocol injector(stage, model), stages "forward"
+# (micro-batcher, before each model forward) and "load" (registry, before
+# each archive load).  See DESIGN.md §5i.
+
+#: Spec kinds handled by the serve parser (and skipped by the engine one).
+SERVE_FAULT_KINDS = frozenset(
+    {"hang-forward", "fail-forward", "corrupt-member-at-serve", "slow-load"}
+)
+
+
+@dataclass
+class HangForward:
+    """Wedge the batch worker inside a forward for ``seconds``.
+
+    The sleep is deliberately *non-cooperative* (no checkpoints): this is
+    the hung-mmap-read / stuck-native-code hang class only an external
+    watchdog can catch.  Fires on the first ``times`` forwards of ``model``
+    (None = any model), then clears — so a replaced worker's retry of the
+    next request succeeds, proving recovery.
+    """
+
+    model: str | None = None
+    seconds: float = 30.0
+    times: int = 1
+    _hits: int = field(default=0, repr=False)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def __call__(self, stage: str, model: str) -> None:
+        if stage != "forward" or self.model not in (None, model):
+            return
+        with self._lock:
+            if self._hits >= self.times:
+                return
+            self._hits += 1
+        time.sleep(self.seconds)
+
+
+@dataclass
+class FailForward:
+    """Raise :class:`InjectedFault` from the first ``times`` forwards of
+    ``model`` (None = any model; ``times=0`` = every forward, persistent).
+
+    The transient-failure shape the health breaker counts: enough of these
+    inside the breaker window must trip the model into quarantine.
+    """
+
+    model: str | None = None
+    times: int = 1
+    _hits: int = field(default=0, repr=False)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def __call__(self, stage: str, model: str) -> None:
+        if stage != "forward" or self.model not in (None, model):
+            return
+        with self._lock:
+            if self.times and self._hits >= self.times:
+                return
+            self._hits += 1
+            hit = self._hits
+        raise InjectedFault(
+            f"injected forward failure (model {model!r}, hit {hit})"
+        )
+
+
+@dataclass
+class CorruptMemberAtServe:
+    """Surface a lazy-CRC integrity error mid-forward.
+
+    Raises :class:`~repro.errors.ChecksumMismatchError` — the exact type a
+    ``verify="lazy"`` member read produces on bit rot — from the first
+    ``times`` forwards of ``model``.  Deterministic regardless of which
+    members earlier batches already touched and cached, which is what makes
+    it usable from a live chaos script; the genuinely-corrupt-bytes path is
+    covered by the in-process self-healing suite, which flips real bytes on
+    disk before first touch.
+    """
+
+    model: str | None = None
+    times: int = 1
+    _hits: int = field(default=0, repr=False)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def __call__(self, stage: str, model: str) -> None:
+        from repro.errors import ChecksumMismatchError
+
+        if stage != "forward" or self.model not in (None, model):
+            return
+        with self._lock:
+            if self.times and self._hits >= self.times:
+                return
+            self._hits += 1
+        raise ChecksumMismatchError(
+            f"injected member CRC mismatch for model {model!r} "
+            f"(corrupt-member-at-serve)"
+        )
+
+
+@dataclass
+class SlowLoad:
+    """Delay every archive load (or just ``model``'s) by ``seconds``.
+
+    Exercises that a slow quarantine reload or hot-swap never blocks the
+    request path of *other* models, and widens probe/reload race windows
+    for tests.
+    """
+
+    seconds: float
+    model: str | None = None
+
+    def __call__(self, stage: str, model: str) -> None:
+        if stage != "load" or self.model not in (None, model):
+            return
+        time.sleep(self.seconds)
+
+
+def compose_serve_injectors(*injectors):
+    """Chain serve injectors: each may sleep or raise; first raise wins."""
+
+    def injector(stage: str, model: str) -> None:
+        for inject in injectors:
+            inject(stage, model)
+
+    return injector
+
+
+def serve_injector_from_spec(spec: str):
+    """Build a serve-path injector from a comma-separated text spec.
+
+    Forms (``MODEL`` is a registered model name)::
+
+        hang-forward:MODEL[:SECONDS[:TIMES]]    HangForward
+        fail-forward:MODEL[:TIMES]              FailForward (0 = persistent)
+        corrupt-member-at-serve:MODEL[:TIMES]   CorruptMemberAtServe
+        slow-load:SECONDS[:MODEL]               SlowLoad
+
+    Engine-side kinds (``crash:3``, ``kill-worker:1``, ...) in the same
+    spec are skipped, so one ``REPRO_FAULTS`` value can carry faults for
+    both paths; a kind *neither* parser knows raises ``ValueError``.
+    Returns None when the spec contains no serve faults.
+    """
+    parts = [p.strip() for p in spec.split(",") if p.strip()]
+    injectors = []
+    for part in parts:
+        kind, _, rest = part.partition(":")
+        args = rest.split(":") if rest else []
+        try:
+            if kind == "hang-forward":
+                model = args[0]
+                seconds = float(args[1]) if len(args) > 1 else 30.0
+                times = int(args[2]) if len(args) > 2 else 1
+                injectors.append(HangForward(model, seconds=seconds, times=times))
+            elif kind == "fail-forward":
+                model = args[0]
+                times = int(args[1]) if len(args) > 1 else 1
+                injectors.append(FailForward(model, times=times))
+            elif kind == "corrupt-member-at-serve":
+                model = args[0]
+                times = int(args[1]) if len(args) > 1 else 1
+                injectors.append(CorruptMemberAtServe(model, times=times))
+            elif kind == "slow-load":
+                seconds = float(args[0])
+                model = args[1] if len(args) > 1 else None
+                injectors.append(SlowLoad(seconds, model=model))
+            elif kind in ENGINE_FAULT_KINDS:
+                continue  # an engine fault riding in the same variable
+            else:
+                raise ValueError(f"unknown fault kind {kind!r}")
+        except (IndexError, ValueError) as exc:
+            raise ValueError(f"bad fault spec {part!r}: {exc}") from exc
+    if not injectors:
+        return None
+    return injectors[0] if len(injectors) == 1 else compose_serve_injectors(*injectors)
+
+
+def serve_injector_from_env(env: str = FAULTS_ENV):
+    """Serve-path injector described by ``REPRO_FAULTS`` (None when unset)."""
+    spec = os.environ.get(env, "")
+    return serve_injector_from_spec(spec) if spec.strip() else None
+
+
 def _parse_layer(token: str) -> int | str:
     """Layer selector from a spec token: an int job index or a layer name."""
     try:
@@ -453,6 +667,8 @@ def injector_from_spec(spec: str):
                 worker = int(args[0])
                 max_seconds = float(args[1]) if len(args) > 1 else 30.0
                 injectors.append(HangWorker(worker, max_seconds=max_seconds))
+            elif kind in SERVE_FAULT_KINDS:
+                continue  # a serve-path fault riding in the same variable
             else:
                 raise ValueError(f"unknown fault kind {kind!r}")
         except (IndexError, ValueError) as exc:

@@ -1,0 +1,327 @@
+"""Health state machine: breaker, quarantine, probes, reloads — no sleeping.
+
+Every ``ModelHealth`` method is clock-injectable, so the whole machine runs
+on a hand-advanced timeline here; only the ``HealthMonitor`` reloader tests
+touch real threads (with near-zero backoff).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.errors import (
+    ChecksumMismatchError,
+    ModelQuarantinedError,
+    TruncatedArchiveError,
+)
+from repro.serve.health import (
+    DEGRADED,
+    HEALTHY,
+    PROBING,
+    QUARANTINED,
+    HealthMonitor,
+    HealthPolicy,
+    ModelHealth,
+    classify_failure,
+)
+
+POLICY = HealthPolicy(
+    breaker_window=10.0, breaker_threshold=3, cooldown=5.0,
+    probe_successes=2, probe_timeout=30.0, quarantine_reloads=3,
+    reload_backoff_base=0.001, reload_backoff_cap=0.002,
+)
+
+
+def trip_breaker(health: ModelHealth, now: float = 0.0) -> float:
+    """Record enough transient failures at ``now`` to trip the breaker."""
+    for _ in range(health.policy.breaker_threshold):
+        health.record_failure(RuntimeError("blip"), now=now)
+    assert health.state == QUARANTINED
+    return now
+
+
+class TestClassification:
+    def test_integrity_errors(self):
+        assert classify_failure(ChecksumMismatchError("crc")) == "integrity"
+        assert classify_failure(TruncatedArchiveError("torn")) == "integrity"
+
+    def test_everything_else_is_transient(self):
+        assert classify_failure(RuntimeError("x")) == "transient"
+        assert classify_failure(OSError("io")) == "transient"
+
+
+class TestPolicy:
+    @pytest.mark.parametrize("kwargs", [
+        {"breaker_window": 0.0},
+        {"breaker_threshold": 0},
+        {"probe_successes": 0},
+        {"quarantine_reloads": -1},
+    ])
+    def test_rejects_nonsense(self, kwargs):
+        with pytest.raises(ValueError):
+            HealthPolicy(**kwargs)
+
+
+class TestBreaker:
+    def test_starts_healthy_and_admits(self):
+        health = ModelHealth("m", POLICY)
+        assert health.state == HEALTHY
+        health.admit(now=0.0)  # no raise
+
+    def test_transient_failures_degrade_then_trip(self):
+        health = ModelHealth("m", POLICY)
+        health.record_failure(RuntimeError("one"), now=0.0)
+        assert health.state == DEGRADED
+        health.admit(now=0.1)  # degraded still serves
+        health.record_failure(RuntimeError("two"), now=1.0)
+        assert health.state == DEGRADED
+        health.record_failure(RuntimeError("three"), now=2.0)
+        assert health.state == QUARANTINED
+        with pytest.raises(ModelQuarantinedError) as excinfo:
+            health.admit(now=2.5)
+        assert excinfo.value.retry_after >= 1.0
+        assert excinfo.value.state == QUARANTINED
+
+    def test_window_prunes_old_failures(self):
+        """Failures spread wider than the window never trip the breaker."""
+        health = ModelHealth("m", POLICY)
+        for i in range(10):
+            health.record_failure(RuntimeError("blip"), now=i * 11.0)
+            assert health.state == DEGRADED
+        # And a success once the window drained recovers to HEALTHY.
+        health.record_success(now=200.0)
+        assert health.state == HEALTHY
+
+    def test_success_before_window_drains_keeps_degraded(self):
+        health = ModelHealth("m", POLICY)
+        health.record_failure(RuntimeError("blip"), now=0.0)
+        health.record_success(now=1.0)  # failure still in window
+        assert health.state == DEGRADED
+        health.record_success(now=11.0)  # window drained
+        assert health.state == HEALTHY
+
+
+class TestProbeCycle:
+    def test_cooldown_converts_admit_into_probe(self):
+        health = ModelHealth("m", POLICY)
+        trip_breaker(health, now=0.0)
+        with pytest.raises(ModelQuarantinedError):
+            health.admit(now=POLICY.cooldown - 0.1)
+        health.admit(now=POLICY.cooldown + 0.1)  # first probe admitted
+        assert health.state == PROBING
+
+    def test_one_probe_in_flight_at_a_time(self):
+        health = ModelHealth("m", POLICY)
+        trip_breaker(health, now=0.0)
+        health.admit(now=6.0)
+        with pytest.raises(ModelQuarantinedError) as excinfo:
+            health.admit(now=6.1)
+        assert excinfo.value.state == PROBING
+
+    def test_stale_probe_slot_reclaimed(self):
+        """A probe whose handler died frees its slot after probe_timeout."""
+        health = ModelHealth("m", POLICY)
+        trip_breaker(health, now=0.0)
+        health.admit(now=6.0)
+        health.admit(now=6.0 + POLICY.probe_timeout + 1.0)  # no raise
+
+    def test_probe_successes_close_the_breaker(self):
+        health = ModelHealth("m", POLICY)
+        trip_breaker(health, now=0.0)
+        health.admit(now=6.0)
+        health.record_success(now=6.1)
+        assert health.state == PROBING  # needs probe_successes=2
+        health.admit(now=6.2)
+        health.record_success(now=6.3)
+        assert health.state == HEALTHY
+        health.admit(now=6.4)  # fully back
+
+    def test_probe_failure_requarantines(self):
+        health = ModelHealth("m", POLICY)
+        trip_breaker(health, now=0.0)
+        health.admit(now=6.0)
+        health.record_failure(RuntimeError("still broken"), now=6.1)
+        assert health.state == QUARANTINED
+        # ...and the new quarantine runs a fresh cooldown.
+        with pytest.raises(ModelQuarantinedError):
+            health.admit(now=6.2)
+        health.admit(now=6.1 + POLICY.cooldown + 0.1)
+        assert health.state == PROBING
+
+
+class TestIntegrityQuarantine:
+    def test_integrity_quarantines_immediately(self):
+        health = ModelHealth("m", POLICY)
+        assert health.record_failure(
+            ChecksumMismatchError("member CRC"), now=0.0) == "integrity"
+        assert health.state == QUARANTINED
+        assert health.reload_wanted()
+
+    def test_cooldown_does_not_recover_integrity(self):
+        """Only a reload ends an integrity quarantine — waiting cannot."""
+        health = ModelHealth("m", POLICY)
+        health.record_failure(ChecksumMismatchError("crc"), now=0.0)
+        with pytest.raises(ModelQuarantinedError, match="reload"):
+            health.admit(now=1000.0)
+
+    def test_reload_moves_to_probing(self):
+        health = ModelHealth("m", POLICY)
+        health.record_failure(TruncatedArchiveError("torn"), now=0.0)
+        health.note_reloaded(now=1.0)
+        assert health.state == PROBING
+        assert not health.reload_wanted()
+        health.admit(now=1.1)
+        health.record_success(now=1.2)
+        health.admit(now=1.3)
+        health.record_success(now=1.4)
+        assert health.state == HEALTHY
+
+    def test_reload_budget_exhaustion(self):
+        health = ModelHealth("m", POLICY)
+        health.record_failure(ChecksumMismatchError("crc"), now=0.0)
+        for _ in range(POLICY.quarantine_reloads):
+            assert health.reload_wanted()
+            health.note_reload_failed(OSError("still bad"))
+        assert not health.reload_wanted()
+        with pytest.raises(ModelQuarantinedError, match="reload-exhausted"):
+            health.admit(now=5000.0)
+        assert health.describe(now=0.0)["quarantine_reason"] == "reload-exhausted"
+
+    def test_manual_reload_recovers_exhausted_model(self):
+        health = ModelHealth("m", POLICY)
+        health.record_failure(ChecksumMismatchError("crc"), now=0.0)
+        for _ in range(POLICY.quarantine_reloads):
+            health.note_reload_failed(OSError("still bad"))
+        health.note_reloaded(now=10.0)
+        assert health.state == PROBING
+
+    def test_reload_of_healthy_model_is_noop(self):
+        """Deploy-time reloads must not push a healthy model into probing."""
+        health = ModelHealth("m", POLICY)
+        health.note_reloaded(now=0.0)
+        assert health.state == HEALTHY
+
+
+class TestObservability:
+    def test_transitions_emit_events(self):
+        with obs.scope() as trace:
+            health = ModelHealth("m", POLICY)
+            trip_breaker(health, now=0.0)
+            health.admit(now=6.0)
+            health.record_success(now=6.1)
+            health.admit(now=6.2)
+            health.record_success(now=6.3)
+        transitions = [
+            (e["attrs"]["from_state"], e["attrs"]["to_state"], e["attrs"]["reason"])
+            for e in trace.events if e["name"] == "serve.health_transition"
+        ]
+        assert transitions == [
+            (HEALTHY, DEGRADED, "transient-failure"),
+            (DEGRADED, QUARANTINED, "breaker-tripped"),
+            (QUARANTINED, PROBING, "cooldown-elapsed"),
+            (PROBING, HEALTHY, "probes-passed"),
+        ]
+
+    def test_describe_is_json_ready(self):
+        import json
+
+        health = ModelHealth("m", POLICY)
+        trip_breaker(health, now=0.0)
+        description = health.describe(now=1.0)
+        assert json.loads(json.dumps(description)) == description
+        assert description["state"] == QUARANTINED
+        assert description["breaker"]["trips"] == 1
+        assert description["quarantine_reason"] == "breaker-tripped"
+        assert "blip" in description["last_error"]
+
+
+class FakeRegistry:
+    """registry.reload() stand-in: fails ``failures`` times, then succeeds."""
+
+    def __init__(self, failures: int = 0):
+        self.failures = failures
+        self.calls = 0
+
+    def reload(self, name: str):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise OSError(f"reload {self.calls} failed")
+        return object()
+
+
+def wait_for(predicate, timeout: float = 5.0) -> None:
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        assert time.monotonic() < deadline, "condition never became true"
+        time.sleep(0.005)
+
+
+class TestHealthMonitor:
+    def test_integrity_failure_starts_reloader(self):
+        registry = FakeRegistry(failures=0)
+        monitor = HealthMonitor(registry, policy=POLICY)
+        try:
+            kind = monitor.report_failure("m", ChecksumMismatchError("crc"))
+            assert kind == "integrity"
+            wait_for(lambda: monitor.model("m").state == PROBING)
+            assert registry.calls == 1
+        finally:
+            monitor.close()
+
+    def test_reloader_retries_with_backoff_then_recovers(self):
+        registry = FakeRegistry(failures=2)
+        monitor = HealthMonitor(registry, policy=POLICY)
+        try:
+            monitor.report_failure("m", ChecksumMismatchError("crc"))
+            wait_for(lambda: monitor.model("m").state == PROBING)
+            assert registry.calls == 3
+            assert monitor.model("m").describe(now=0.0)["reload_attempts"] == 2
+        finally:
+            monitor.close()
+
+    def test_reloader_gives_up_after_budget(self):
+        registry = FakeRegistry(failures=10**9)
+        monitor = HealthMonitor(registry, policy=POLICY)
+        try:
+            monitor.report_failure("m", ChecksumMismatchError("crc"))
+            wait_for(lambda: monitor.model("m").describe(now=0.0)
+                     ["quarantine_reason"] == "reload-exhausted")
+            assert registry.calls == POLICY.quarantine_reloads
+        finally:
+            monitor.close()
+
+    def test_transient_failure_starts_no_reloader(self):
+        registry = FakeRegistry()
+        monitor = HealthMonitor(registry, policy=POLICY)
+        try:
+            monitor.report_failure("m", RuntimeError("blip"))
+            time.sleep(0.05)
+            assert registry.calls == 0
+        finally:
+            monitor.close()
+
+    def test_manual_reload_recovers(self):
+        registry = FakeRegistry()
+        monitor = HealthMonitor(registry, policy=POLICY)
+        try:
+            for _ in range(POLICY.breaker_threshold):
+                monitor.report_failure("m", RuntimeError("blip"))
+            assert monitor.model("m").state == QUARANTINED
+            monitor.note_manual_reload("m")
+            assert monitor.model("m").state == PROBING
+        finally:
+            monitor.close()
+
+    def test_describe_covers_touched_models(self):
+        monitor = HealthMonitor(FakeRegistry(), policy=POLICY)
+        try:
+            monitor.report_success("a")
+            monitor.report_failure("b", RuntimeError("blip"))
+            description = monitor.describe(now=0.0)
+            assert description["a"]["state"] == HEALTHY
+            assert description["b"]["state"] == DEGRADED
+        finally:
+            monitor.close()

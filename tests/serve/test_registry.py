@@ -153,3 +153,33 @@ class TestConfigInference:
             assert entry.config_name == "tiny-distilbert"
         finally:
             registry.close()
+
+
+class TestLeaseRetireRace:
+    def test_lease_retries_once_against_fresh_entry(self, registry, monkeypatch):
+        """A reload can retire the entry between get() and acquire — a
+        routine hot-swap.  The lease must retry once against the freshly
+        swapped-in entry instead of failing the request."""
+        stale = registry.get("micro")
+        fresh = registry.reload("micro")  # retires `stale` (no leases held)
+        calls = []
+        real_get = registry.get
+
+        def racy_get(name):
+            calls.append(name)
+            return stale if len(calls) == 1 else real_get(name)
+
+        monkeypatch.setattr(registry, "get", racy_get)
+        with registry.lease("micro") as entry:
+            assert entry is fresh
+        assert calls == ["micro", "micro"]
+
+    def test_second_retirement_propagates(self, registry, monkeypatch):
+        """Only one retry: a model that is genuinely gone (or raced twice)
+        surfaces the ServeError instead of looping."""
+        stale = registry.get("micro")
+        registry.reload("micro")
+        monkeypatch.setattr(registry, "get", lambda name: stale)
+        with pytest.raises(ServeError, match="retired"):
+            with registry.lease("micro"):
+                pass

@@ -1,0 +1,199 @@
+"""Batch-worker watchdog: wedged forwards, dead workers, wedged shutdown."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.errors import BatchWorkerError, ForwardTimeoutError, ServeError
+from repro.serve import AdmissionController, MicroBatcher, ModelRegistry
+from repro.serve.health import DEGRADED, HealthMonitor, HealthPolicy
+from repro.testing.faults import HangForward
+from tests.conftest import MICRO_CONFIG
+
+
+@pytest.fixture
+def registry(micro_archive):
+    registry = ModelRegistry()
+    registry.register("micro", micro_archive, config=MICRO_CONFIG)
+    yield registry
+    registry.close()
+
+
+def make_batcher(registry, *, forward_timeout=None, health=None, fault=None,
+                 timeout=10.0):
+    admission = AdmissionController(max_pending=64, request_timeout=timeout)
+    return MicroBatcher(registry, admission, batch_window=0.005, max_batch=8,
+                        forward_timeout=forward_timeout, health=health,
+                        fault=fault)
+
+
+def wait_for(predicate, timeout: float = 5.0) -> None:
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        assert time.monotonic() < deadline, "condition never became true"
+        time.sleep(0.005)
+
+
+class TestForwardTimeout:
+    def test_wedged_forward_failed_and_worker_replaced(self, registry):
+        """A non-cooperative hang is fenced at forward_timeout: the batch
+        fails as transient, a fresh worker serves the next request."""
+        fault = HangForward("micro", seconds=10.0, times=1)
+        batcher = make_batcher(registry, forward_timeout=0.2, fault=fault)
+        try:
+            with obs.scope() as trace:
+                started = time.monotonic()
+                pending = batcher.submit("micro", [1, 2, 3])
+                with pytest.raises(ForwardTimeoutError, match="forward timeout"):
+                    batcher.wait(pending)
+                assert time.monotonic() - started < 5.0
+                assert batcher.admission.depth == 0
+                # The replacement worker serves immediately — no waiting for
+                # the wedged one (still sleeping) to come back.
+                result = batcher.wait(batcher.submit("micro", [1, 2, 3]))
+                assert result["model"] == "micro"
+            replaced = [e for e in trace.events
+                        if e["name"] == "serve.worker_replaced"]
+            assert [e["attrs"]["reason"] for e in replaced] == ["forward-timeout"]
+        finally:
+            batcher.close(timeout=15.0)
+
+    def test_clock_injected_sweep(self, registry):
+        """check_worker(now=...) makes the deadline testable without real
+        waiting: a forward 'past' its deadline is aborted on the spot."""
+        release = threading.Event()
+        batcher = make_batcher(registry, forward_timeout=60.0)
+        original_forward = batcher._forward
+
+        def gated_forward(model, live):
+            release.wait(10.0)
+            return original_forward(model, live)
+
+        batcher._forward = gated_forward
+        try:
+            pending = batcher.submit("micro", [1, 2, 3])
+            wait_for(lambda: batcher._inflight is not None)
+            assert batcher.check_worker(now=time.perf_counter() + 1.0) is None
+            reason = batcher.check_worker(now=time.perf_counter() + 61.0)
+            assert reason == "forward-timeout"
+            with pytest.raises(ForwardTimeoutError):
+                batcher.wait(pending)
+            # The superseded worker un-wedges, sees its stale generation,
+            # discards its late result, and exits without double-completing.
+            batcher._forward = original_forward
+            release.set()
+            result = batcher.wait(batcher.submit("micro", [4, 5]))
+            assert result["model"] == "micro"
+        finally:
+            release.set()
+            batcher.close()
+
+    def test_timeout_reports_transient_to_health(self, registry):
+        health = HealthMonitor(registry, policy=HealthPolicy(breaker_threshold=5))
+        fault = HangForward("micro", seconds=10.0, times=1)
+        batcher = make_batcher(registry, forward_timeout=0.2, health=health,
+                               fault=fault)
+        try:
+            pending = batcher.submit("micro", [1, 2, 3])
+            with pytest.raises(ForwardTimeoutError):
+                batcher.wait(pending)
+            assert health.model("micro").state == DEGRADED
+        finally:
+            batcher.close(timeout=15.0)
+            health.close()
+
+    def test_disabled_without_forward_timeout(self, registry):
+        """forward_timeout=None arms no deadline: a slow forward completes."""
+        batcher = make_batcher(registry, forward_timeout=None,
+                               fault=HangForward("micro", seconds=0.3, times=1))
+        try:
+            result = batcher.wait(batcher.submit("micro", [1, 2, 3]))
+            assert result["model"] == "micro"
+        finally:
+            batcher.close()
+
+
+class TestDeadWorker:
+    # The injected SystemExit escaping a worker thread is the point of the
+    # test; silence pytest's unhandled-thread-exception report for it.
+    @pytest.mark.filterwarnings(
+        "ignore::pytest.PytestUnhandledThreadExceptionWarning")
+    def test_dead_worker_detected_and_replaced(self, registry):
+        """A BaseException (which _run_group's Exception guard cannot catch)
+        kills the worker thread; the watchdog fails its batch and respawns."""
+        batcher = make_batcher(registry)
+        original_forward = batcher._forward
+
+        def lethal_forward(model, live):
+            raise SystemExit("injected worker death")
+
+        batcher._forward = lethal_forward
+        try:
+            pending = batcher.submit("micro", [1, 2, 3])
+            with pytest.raises(BatchWorkerError, match="died"):
+                batcher.wait(pending)
+            assert batcher.admission.depth == 0
+            batcher._forward = original_forward
+            result = batcher.wait(batcher.submit("micro", [1, 2, 3]))
+            assert result["model"] == "micro"
+        finally:
+            batcher.close()
+
+
+class TestCloseWithBrokenWorker:
+    @pytest.mark.filterwarnings(
+        "ignore::pytest.PytestUnhandledThreadExceptionWarning")
+    def test_close_fails_queue_when_worker_already_dead(self, registry):
+        """Satellite: close() must not wait on a worker that cannot drain —
+        queued requests are failed promptly with a ServeError."""
+        batcher = make_batcher(registry, timeout=0.5)
+        # Stop the watchdog first so nothing respawns the worker we kill
+        # (the no-watchdog worst case close() must still handle).
+        batcher._watchdog_stop.set()
+        batcher._watchdog.join(timeout=5.0)
+
+        def lethal_forward(model, live):
+            raise SystemExit("injected worker death")
+
+        batcher._forward = lethal_forward
+        pending = batcher.submit("micro", [1, 2, 3])
+        wait_for(lambda: not batcher._worker.is_alive())
+        queued = batcher.submit("micro", [4, 5])  # nobody will ever drain this
+        batcher.close(drain=True)
+        with pytest.raises(ServeError, match="abandoned"):
+            batcher.wait(queued)
+        # The in-flight request died with the worker and (watchdog disabled)
+        # resolves through the handler-side deadline.
+        with pytest.raises(ServeError):
+            batcher.wait(pending)
+        assert batcher.admission.depth == 0
+
+    def test_close_join_timeout_raises_and_fails_queue(self, registry):
+        """A worker wedged past close(timeout=...) raises loudly instead of
+        hanging shutdown, and still-queued requests get errors, not silence."""
+        release = threading.Event()
+        batcher = make_batcher(registry)
+        original_forward = batcher._forward
+
+        def wedged_forward(model, live):
+            release.wait(30.0)
+            return original_forward(model, live)
+
+        batcher._forward = wedged_forward
+        try:
+            inflight = batcher.submit("micro", [1, 2, 3])
+            wait_for(lambda: inflight.started.is_set())
+            queued = batcher.submit("micro", [4, 5])
+            with obs.scope() as trace:
+                with pytest.raises(ServeError, match="failed to stop"):
+                    batcher.close(drain=True, timeout=0.2)
+            assert any(e["name"] == "serve.worker_join_timeouts"
+                       for e in trace.events)
+            with pytest.raises(ServeError, match="abandoned"):
+                batcher.wait(queued)
+        finally:
+            release.set()
